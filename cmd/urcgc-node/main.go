@@ -1,0 +1,103 @@
+// Command urcgc-node runs one urcgc group member over real UDP sockets —
+// the paper's prototype deployment over a LAN (Section 7). Start one
+// process per member, each with the same -peers list and its own -self:
+//
+//	urcgc-node -self 0 -peers 127.0.0.1:7700,127.0.0.1:7701,127.0.0.1:7702 &
+//	urcgc-node -self 1 -peers 127.0.0.1:7700,127.0.0.1:7701,127.0.0.1:7702 &
+//	urcgc-node -self 2 -peers 127.0.0.1:7700,127.0.0.1:7701,127.0.0.1:7702
+//
+// Lines typed on stdin are multicast to the group; messages processed at
+// this member — its own and its peers', in causal order — are printed.
+// With -chatter the node also generates synthetic traffic by itself.
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"urcgc/internal/core"
+	"urcgc/internal/mid"
+	"urcgc/internal/rt"
+)
+
+func main() {
+	var (
+		self    = flag.Int("self", 0, "this member's identity (index into -peers)")
+		peers   = flag.String("peers", "", "comma-separated member addresses, index = identity")
+		k       = flag.Int("k", 3, "K parameter")
+		round   = flag.Duration("round", 20*time.Millisecond, "round duration")
+		chatter = flag.Duration("chatter", 0, "generate a synthetic message this often (0 = stdin only)")
+	)
+	flag.Parse()
+
+	addrs := strings.Split(*peers, ",")
+	if len(addrs) < 1 || *peers == "" {
+		fmt.Fprintln(os.Stderr, "urcgc-node: -peers is required")
+		os.Exit(2)
+	}
+	for i := range addrs {
+		addrs[i] = strings.TrimSpace(addrs[i])
+	}
+	node, err := rt.NewUDPNode(rt.UDPConfig{
+		Config: core.Config{
+			N: len(addrs), K: *k, R: 2**k + 2, SelfExclusion: true,
+		},
+		Self:          mid.ProcID(*self),
+		Peers:         addrs,
+		RoundDuration: *round,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "urcgc-node:", err)
+		os.Exit(1)
+	}
+	node.Start()
+	defer node.Stop()
+	fmt.Printf("member %d of %d up at %s (round %v)\n", *self, len(addrs), node.LocalAddr(), *round)
+
+	go func() {
+		for ind := range node.Indications() {
+			fmt.Printf("[%v] %s\n", ind.Msg.ID, ind.Msg.Payload)
+			if reason, left := node.Left(); left {
+				fmt.Printf("member left the group: %v\n", reason)
+				os.Exit(0)
+			}
+		}
+	}()
+
+	if *chatter > 0 {
+		go func() {
+			seq := 0
+			for range time.Tick(*chatter) {
+				seq++
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				_, err := node.Send(ctx, []byte(fmt.Sprintf("chatter %d from %d", seq, *self)), nil)
+				cancel()
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "chatter:", err)
+					return
+				}
+			}
+		}()
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		id, err := node.Send(ctx, []byte(line), nil)
+		cancel()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "send:", err)
+			continue
+		}
+		fmt.Printf("confirmed %v\n", id)
+	}
+}

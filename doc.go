@@ -1,0 +1,14 @@
+// Package urcgc is a complete Go implementation of the urcgc protocol from
+// Aiello, Pagani and Rossi, "Causal Ordering in Reliable Group
+// Communications" (SIGCOMM 1993): uniform reliable causal multicast built
+// on a rotating coordinator, history buffers and reliably circulated
+// per-subrun decisions, with the paper's CBCAST and Psync baselines, a
+// deterministic simulation substrate, live goroutine/UDP runtimes, and a
+// benchmark harness regenerating every table and figure of the paper's
+// evaluation.
+//
+// Start with README.md for the tour, DESIGN.md for the system inventory,
+// and EXPERIMENTS.md for the paper-vs-measured comparison. The root
+// package holds only the benchmark harness (bench_test.go); the library
+// lives under internal/.
+package urcgc

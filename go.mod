@@ -1,0 +1,3 @@
+module urcgc
+
+go 1.22

@@ -1,0 +1,173 @@
+// Package cbcast reimplements the CBCAST causal multicast of ISIS (Birman,
+// Schiper, Stephenson 1991) as the paper's main comparison baseline.
+//
+// Normal operation stamps every broadcast with the sender's vector
+// timestamp; receivers delay delivery until the CBCAST test admits the
+// message, and stability is learnt from delivery vectors piggybacked on
+// data traffic (with explicit ack messages only when a process has
+// undelivered state and nothing to piggyback on). Messages are retained
+// until stable.
+//
+// The contrast with urcgc is in failure handling: when the group manager
+// observes K subruns of silence from a member it starts a specialized
+// *flush* protocol — announce, collect unstable messages, re-disseminate,
+// acknowledge, install the new view — during which the delivery and
+// generation of new messages is suspended. Each phase is retried for K
+// subruns to be reliable, and a manager crash restarts the flush under the
+// next manager, which is how the paper's K(5f+6) rtd cost arises
+// (Figure 5) against urcgc's 2K+f.
+package cbcast
+
+import (
+	"fmt"
+
+	"urcgc/internal/mid"
+	"urcgc/internal/vclock"
+	"urcgc/internal/wire"
+)
+
+// Config carries the CBCAST group parameters.
+type Config struct {
+	N int
+	K int // silence threshold (subruns) and per-phase retry count
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.N < 1 {
+		return fmt.Errorf("cbcast: N = %d", c.N)
+	}
+	if c.K < 1 {
+		return fmt.Errorf("cbcast: K = %d", c.K)
+	}
+	return nil
+}
+
+// Data is a vector-stamped causal broadcast. Delivered carries the sender's
+// delivery vector as the piggybacked stability information.
+type Data struct {
+	Sender    mid.ProcID
+	TS        vclock.VT
+	Delivered vclock.VT
+	Payload   []byte
+}
+
+// Kind implements wire.PDU.
+func (*Data) Kind() wire.Kind { return wire.KindCBData }
+
+// EncodedSize implements wire.PDU: kind + sender + two vectors + payload.
+func (d *Data) EncodedSize() int {
+	return 1 + 4 + 4*len(d.TS) + 4*len(d.Delivered) + 2 + len(d.Payload)
+}
+
+// key identifies a broadcast: sender plus its position in the sender's
+// broadcast sequence (the sender's own TS entry).
+type key struct {
+	sender mid.ProcID
+	seq    uint32
+}
+
+// Ack is the explicit stability message used when there is no data traffic
+// to piggyback on: the sender's delivery vector. Size 4(n+1)-ish, matching
+// the paper's Table 1 description of CBCAST control messages.
+type Ack struct {
+	Sender    mid.ProcID
+	Delivered vclock.VT
+}
+
+// Kind implements wire.PDU.
+func (*Ack) Kind() wire.Kind { return wire.KindCBAck }
+
+// EncodedSize implements wire.PDU.
+func (a *Ack) EncodedSize() int { return 1 + 4 + 4*len(a.Delivered) }
+
+// FlushReq announces a view change: Dead is being removed, under the given
+// flush epoch. Broadcast by the manager once per subrun for K subruns.
+type FlushReq struct {
+	Manager mid.ProcID
+	Epoch   int32
+	Dead    []bool
+}
+
+// Kind implements wire.PDU.
+func (*FlushReq) Kind() wire.Kind { return wire.KindCBFlushReq }
+
+// EncodedSize implements wire.PDU.
+func (f *FlushReq) EncodedSize() int { return 1 + 4 + 4 + (len(f.Dead)+7)/8 }
+
+// Flush carries a member's unstable messages to the manager, plus its
+// delivery vector. The paper sizes flush messages at 4(n-1) bytes; ours is
+// the vector plus the retained messages.
+type Flush struct {
+	Sender    mid.ProcID
+	Epoch     int32
+	Delivered vclock.VT
+	Unstable  []*Data
+}
+
+// Kind implements wire.PDU.
+func (*Flush) Kind() wire.Kind { return wire.KindCBFlush }
+
+// EncodedSize implements wire.PDU.
+func (f *Flush) EncodedSize() int {
+	s := 1 + 4 + 4 + 4*len(f.Delivered) + 2
+	for _, m := range f.Unstable {
+		s += m.EncodedSize() - 1
+	}
+	return s
+}
+
+// FlushData re-disseminates the unstable messages the manager collected.
+type FlushData struct {
+	Manager mid.ProcID
+	Epoch   int32
+	Msgs    []*Data
+}
+
+// Kind implements wire.PDU.
+func (*FlushData) Kind() wire.Kind { return wire.KindCBFlushDat }
+
+// EncodedSize implements wire.PDU.
+func (f *FlushData) EncodedSize() int {
+	s := 1 + 4 + 4 + 2
+	for _, m := range f.Msgs {
+		s += m.EncodedSize() - 1
+	}
+	return s
+}
+
+// View installs the new group composition, ending the flush.
+type View struct {
+	Manager mid.ProcID
+	Epoch   int32
+	Alive   []bool
+}
+
+// Kind implements wire.PDU.
+func (*View) Kind() wire.Kind { return wire.KindCBView }
+
+// EncodedSize implements wire.PDU.
+func (v *View) EncodedSize() int { return 1 + 4 + 4 + (len(v.Alive)+7)/8 }
+
+// flushAck acknowledges receipt of the manager's FlushData. It reuses the
+// Ack kind on the wire (it is an ack) but is a distinct type so the state
+// machine cannot confuse the two.
+type flushAck struct {
+	Sender mid.ProcID
+	Epoch  int32
+}
+
+func (*flushAck) Kind() wire.Kind  { return wire.KindCBAck }
+func (*flushAck) EncodedSize() int { return 1 + 4 + 4 }
+func (a *flushAck) String() string { return fmt.Sprintf("flushAck(%d,%d)", a.Sender, a.Epoch) }
+
+var _ wire.PDU = (*flushAck)(nil)
+
+// phase of the flush state machine.
+type phase int
+
+const (
+	phaseNormal  phase = iota
+	phaseCollect       // manager announced; members send Flush; manager gathers
+	phaseAckWait       // manager re-disseminated; waiting for acks
+)

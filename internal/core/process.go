@@ -1,0 +1,761 @@
+// Package core implements the urcgc algorithm of Aiello, Pagani and Rossi
+// (SIGCOMM 1993): uniform reliable causal group communication built around a
+// rotating coordinator, history buffers and the reliable circulation of
+// decisions.
+//
+// Time advances in rounds; a subrun is two rounds. In the first round of a
+// subrun every process may broadcast one new user message — which it also
+// processes immediately — and sends a REQUEST to the subrun's coordinator
+// carrying its last-processed vector, its oldest-waiting vector, and the
+// freshest DECISION it holds. In the second round the coordinator folds the
+// requests it received into a new DECISION — message stability (history
+// cleaning), per-sequence most-updated holders for recovery, silence
+// counters whose saturation at K declares crashes, and orphaned-sequence
+// gaps whose dependents the group agrees to destroy — and broadcasts it.
+// Decisions chain across coordinators, so crash recovery is embedded in
+// normal processing: nothing ever blocks, which is the paper's headline
+// property.
+package core
+
+import (
+	"fmt"
+
+	"urcgc/internal/causal"
+	"urcgc/internal/group"
+	"urcgc/internal/history"
+	"urcgc/internal/mid"
+	"urcgc/internal/waitlist"
+	"urcgc/internal/wire"
+)
+
+// Config carries the protocol parameters of one group.
+type Config struct {
+	// N is the group cardinality.
+	N int
+	// K is the number of retries before a silent process is declared
+	// crashed, and before a process that hears no coordinator leaves.
+	K int
+	// R is the number of unsuccessful recovery attempts after which a
+	// process autonomously leaves the group. The paper requires R > 2K+f
+	// for no live process to be evicted while chasing a crashed
+	// most-updated holder; Validate enforces R > 2K as the f=0 baseline.
+	R int
+	// HistoryThreshold is the distributed flow-control threshold of
+	// Section 6: a process whose history holds at least this many messages
+	// defers generating new ones. Zero disables flow control. The paper
+	// uses 8n.
+	HistoryThreshold int
+	// RecoveryBatch caps how many messages of one sequence a single
+	// RECOVER asks for. Zero means DefaultRecoveryBatch.
+	RecoveryBatch int
+	// SelfExclusion enables the two autonomous-leave rules (suicide is
+	// always on): leaving after R failed recoveries and after K subruns
+	// without hearing any believed-alive coordinator. Experiments that
+	// model more consecutive coordinator crashes than K disable it.
+	SelfExclusion bool
+	// Observers marks diffusion-group members (Section 3): an observer
+	// processes every message and reports to coordinators — so stability
+	// waits for it and atomicity covers it — but it never generates
+	// messages and never becomes coordinator. Nil means a pure peer group.
+	Observers []bool
+}
+
+// IsObserver reports whether member i is an observer.
+func (c Config) IsObserver(i mid.ProcID) bool {
+	return i >= 0 && int(i) < len(c.Observers) && c.Observers[i]
+}
+
+// DefaultRecoveryBatch bounds one RECOVER's per-sequence ask.
+const DefaultRecoveryBatch = 16
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.N < 1 {
+		return fmt.Errorf("core: N = %d, need at least 1", c.N)
+	}
+	if c.K < 1 {
+		return fmt.Errorf("core: K = %d, need at least 1", c.K)
+	}
+	if c.R < 1 {
+		return fmt.Errorf("core: R = %d, need at least 1", c.R)
+	}
+	if c.SelfExclusion && c.R <= 2*c.K {
+		return fmt.Errorf("core: R = %d must exceed 2K = %d (paper: R > 2K+f)", c.R, 2*c.K)
+	}
+	if c.HistoryThreshold < 0 || c.RecoveryBatch < 0 {
+		return fmt.Errorf("core: negative threshold")
+	}
+	if c.Observers != nil {
+		if len(c.Observers) != c.N {
+			return fmt.Errorf("core: %d observer flags for group of %d", len(c.Observers), c.N)
+		}
+		peers := 0
+		for _, o := range c.Observers {
+			if !o {
+				peers++
+			}
+		}
+		if peers == 0 {
+			return fmt.Errorf("core: a diffusion group needs at least one non-observer")
+		}
+	}
+	return nil
+}
+
+func (c Config) recoveryBatch() mid.Seq {
+	if c.RecoveryBatch > 0 {
+		return mid.Seq(c.RecoveryBatch)
+	}
+	return DefaultRecoveryBatch
+}
+
+// LeaveReason says why a process halted.
+type LeaveReason int
+
+// Leave reasons.
+const (
+	// Suicide: the process found itself declared crashed in a decision
+	// (it is alive but faulty — e.g. its sends are being omitted) and
+	// removed itself, as the protocol requires.
+	Suicide LeaveReason = iota
+	// RecoveryExhausted: R consecutive recovery attempts made no progress.
+	RecoveryExhausted
+	// CoordinatorSilence: no decision was received from K consecutive
+	// believed-alive coordinators.
+	CoordinatorSilence
+)
+
+// String implements fmt.Stringer.
+func (r LeaveReason) String() string {
+	switch r {
+	case Suicide:
+		return "suicide"
+	case RecoveryExhausted:
+		return "recovery-exhausted"
+	case CoordinatorSilence:
+		return "coordinator-silence"
+	default:
+		return fmt.Sprintf("reason(%d)", int(r))
+	}
+}
+
+// Transport is how a process reaches its peers. Send to self is never
+// issued. Broadcast must reach every other process in the group — including
+// ones believed crashed, which may be alive-but-faulty and must be able to
+// learn they were excluded.
+type Transport interface {
+	Send(dst mid.ProcID, pdu wire.PDU)
+	Broadcast(pdu wire.PDU)
+}
+
+// Callbacks surface protocol events to the embedding runtime. Any field may
+// be nil.
+type Callbacks struct {
+	// OnProcess is invoked exactly once per message this process
+	// processes, in processing (causal) order.
+	OnProcess func(m *causal.Message)
+	// OnDiscard is invoked when a waiting message is destroyed by the
+	// group's orphaned-sequence agreement.
+	OnDiscard func(m *causal.Message)
+	// OnLeave is invoked once when the process halts itself.
+	OnLeave func(reason LeaveReason)
+	// OnDecision is invoked for every fresh decision applied.
+	OnDecision func(d *wire.Decision)
+}
+
+// Process is one urcgc protocol entity. It is driven by StartRound and
+// Recv from a single goroutine (the simulator loop or the runtime's node
+// goroutine); it is not safe for concurrent use.
+type Process struct {
+	id  mid.ProcID
+	cfg Config
+	cb  Callbacks
+	tp  Transport
+
+	tracker *causal.Tracker
+	hist    *history.History
+	wait    *waitlist.List
+	view    *group.View
+
+	running  bool
+	nextSeq  mid.Seq
+	outbox   []*causal.Message // user messages awaiting their send round
+	lastDec  *wire.Decision    // freshest decision held
+	requests map[mid.ProcID]*wire.Request
+
+	subrun            int64 // current subrun index
+	missedCoords      int   // consecutive subruns with no decision from a believed-alive coordinator
+	decisionThisSub   bool  // a decision for the previous subrun arrived
+	recoveryFailures  int
+	lastProgress      uint64 // processed-sum at the last decision, for the R rule
+	recoveryRequested bool
+
+	// Counters for reports and tests.
+	Stats Stats
+}
+
+// Stats counts externally observable protocol activity.
+type Stats struct {
+	Generated   int // user messages this process originated
+	ProcessedN  int // messages processed (own and others')
+	Discarded   int // messages destroyed by agreement
+	Recoveries  int // RECOVER PDUs sent
+	Retransmits int // RETRANSMIT PDUs answered
+	Decisions   int // decisions computed as coordinator
+	Duplicates  int // duplicate or stale DATA received
+}
+
+// NewProcess returns a protocol entity for process id. The transport must
+// be non-nil; callbacks may be zero.
+func NewProcess(id mid.ProcID, cfg Config, tp Transport, cb Callbacks) (*Process, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if int(id) >= cfg.N || id < 0 {
+		return nil, fmt.Errorf("core: process id %d outside group of %d", id, cfg.N)
+	}
+	if tp == nil {
+		return nil, fmt.Errorf("core: nil transport")
+	}
+	return &Process{
+		id:       id,
+		cfg:      cfg,
+		cb:       cb,
+		tp:       tp,
+		tracker:  causal.NewTracker(cfg.N),
+		hist:     history.New(cfg.N),
+		wait:     waitlist.New(cfg.N),
+		view:     group.NewView(cfg.N),
+		running:  true,
+		requests: make(map[mid.ProcID]*wire.Request),
+	}, nil
+}
+
+// ID returns the process identifier.
+func (p *Process) ID() mid.ProcID { return p.id }
+
+// Running reports whether the process is still executing the protocol.
+func (p *Process) Running() bool { return p.running }
+
+// View returns the process's local group view.
+func (p *Process) View() *group.View { return p.view }
+
+// HistoryLen returns the current history buffer length (Figure 6).
+func (p *Process) HistoryLen() int { return p.hist.Len() }
+
+// History exposes the history buffer for read access (recovery answers and
+// the client-server reply layer read processed messages from it). Callers
+// must not mutate it.
+func (p *Process) History() *history.History { return p.hist }
+
+// WaitingLen returns the current waiting-list length.
+func (p *Process) WaitingLen() int { return p.wait.Len() }
+
+// Processed returns the last-processed vector. Callers must not modify it.
+func (p *Process) Processed() mid.SeqVector { return p.tracker.Processed() }
+
+// PendingSubmissions returns the number of user messages queued but not yet
+// broadcast (they wait for their round or for flow control).
+func (p *Process) PendingSubmissions() int { return len(p.outbox) }
+
+// Submit queues a user message. Its causal dependencies are the explicit
+// deps given (each must already be processed locally — a process can only
+// causally relate messages it has seen, Definition 3.1) plus, implicitly,
+// the sender's previous message. The message is broadcast at the next
+// first-round of a subrun permitted by flow control, one per round at most.
+// The assigned MID is returned.
+func (p *Process) Submit(payload []byte, deps mid.DepList) (mid.MID, error) {
+	if !p.running {
+		return mid.MID{}, fmt.Errorf("core: process %d has left the group", p.id)
+	}
+	if p.cfg.IsObserver(p.id) {
+		return mid.MID{}, fmt.Errorf("core: observer %d cannot generate messages", p.id)
+	}
+	for _, d := range deps {
+		if d.IsZero() {
+			return mid.MID{}, fmt.Errorf("core: zero dependency")
+		}
+		if d.Proc == p.id {
+			return mid.MID{}, fmt.Errorf("core: own-sequence dependencies are implicit")
+		}
+		if p.tracker.LastProcessed(d.Proc) < d.Seq {
+			return mid.MID{}, fmt.Errorf("core: dependency %v not processed locally", d)
+		}
+	}
+	p.nextSeq++
+	m := &causal.Message{
+		ID:      mid.MID{Proc: p.id, Seq: p.nextSeq},
+		Deps:    deps.Clone().Canonical(),
+		Payload: payload,
+	}
+	p.outbox = append(p.outbox, m)
+	return m.ID, nil
+}
+
+// SubmitCausal queues a user message depending on the latest message this
+// process has processed from every other live sequence — the conservative
+// temporal interpretation of causality (what CBCAST enforces implicitly).
+func (p *Process) SubmitCausal(payload []byte) (mid.MID, error) {
+	var deps mid.DepList
+	for q := 0; q < p.cfg.N; q++ {
+		qp := mid.ProcID(q)
+		if qp == p.id {
+			continue
+		}
+		if s := p.tracker.LastProcessed(qp); s > 0 {
+			deps = append(deps, mid.MID{Proc: qp, Seq: s})
+		}
+	}
+	return p.Submit(payload, deps)
+}
+
+// CoordinatorOf returns the coordinator of subrun s under view v: the first
+// believed-alive process at or cyclically after s mod n. If the view is
+// empty it falls back to s mod n.
+func CoordinatorOf(s int64, v *group.View) mid.ProcID {
+	return coordinatorOf(s, v, nil)
+}
+
+// coordinatorOf additionally skips observer members (diffusion groups):
+// only peers rotate through the coordinator role.
+func coordinatorOf(s int64, v *group.View, observers []bool) mid.ProcID {
+	n := int64(v.N())
+	start := mid.ProcID(s % n)
+	for i := int64(0); i < n; i++ {
+		c := mid.ProcID((int64(start) + i) % n)
+		if int(c) < len(observers) && observers[c] {
+			continue
+		}
+		if v.Alive(c) {
+			return c
+		}
+	}
+	return start
+}
+
+// coordinator returns the coordinator of subrun s from this process's view.
+func (p *Process) coordinator(s int64) mid.ProcID {
+	return coordinatorOf(s, p.view, p.cfg.Observers)
+}
+
+// StartRound drives the process at the beginning of global round r. Even
+// rounds open a subrun (request phase); odd rounds are the decision phase.
+func (p *Process) StartRound(r int) {
+	if !p.running {
+		return
+	}
+	if r%2 == 0 {
+		p.startSubrun(int64(r / 2))
+	} else {
+		p.decisionPhase()
+	}
+}
+
+func (p *Process) startSubrun(s int64) {
+	// Close the books on the previous subrun: did its coordinator reach us?
+	if s > 0 {
+		p.accountCoordinatorSilence(s - 1)
+		if !p.running {
+			return // the silence rule made us leave
+		}
+	}
+	p.subrun = s
+	p.decisionThisSub = false
+	p.requests = make(map[mid.ProcID]*wire.Request)
+
+	// Broadcast at most one queued user message, unless flow control defers.
+	if len(p.outbox) > 0 && (p.cfg.HistoryThreshold == 0 || p.hist.Len() < p.cfg.HistoryThreshold) {
+		m := p.outbox[0]
+		p.outbox = p.outbox[1:]
+		p.Stats.Generated++
+		p.tp.Broadcast(&wire.Data{Msg: *m})
+		p.processMsg(m)
+		p.cascade()
+	}
+
+	// Send the REQUEST to the subrun's coordinator.
+	coord := p.coordinator(s)
+	req := p.buildRequest(s)
+	if coord == p.id {
+		p.requests[p.id] = req
+	} else {
+		p.tp.Send(coord, req)
+	}
+}
+
+func (p *Process) buildRequest(s int64) *wire.Request {
+	return &wire.Request{
+		Sender:        p.id,
+		Subrun:        s,
+		LastProcessed: p.tracker.Processed().Clone(),
+		Waiting:       p.wait.OldestWaiting(),
+		Prev:          p.lastDec, // shared immutable; never mutated after build
+	}
+}
+
+func (p *Process) accountCoordinatorSilence(s int64) {
+	if p.decisionThisSub {
+		p.missedCoords = 0
+		return
+	}
+	if !p.view.Alive(p.coordinator(s)) {
+		return // we expected nothing from a crashed coordinator
+	}
+	p.missedCoords++
+	if p.cfg.SelfExclusion && p.missedCoords >= p.cfg.K {
+		p.leave(CoordinatorSilence)
+	}
+}
+
+func (p *Process) decisionPhase() {
+	if p.coordinator(p.subrun) != p.id {
+		return
+	}
+	// Fold in our own (fresh) report.
+	p.requests[p.id] = p.buildRequest(p.subrun)
+	d := p.computeDecision()
+	p.Stats.Decisions++
+	p.decisionThisSub = true
+	p.missedCoords = 0
+	p.tp.Broadcast(d)
+	p.applyDecision(d)
+}
+
+// Recv handles one delivered PDU.
+func (p *Process) Recv(src mid.ProcID, pdu wire.PDU) {
+	if !p.running {
+		return
+	}
+	switch v := pdu.(type) {
+	case *wire.Data:
+		p.handleData(&v.Msg)
+	case *wire.Request:
+		if v.Subrun == p.subrun && p.coordinator(p.subrun) == p.id {
+			p.requests[v.Sender] = v
+		} else if v.Prev != nil {
+			// Not ours to coordinate, but the embedded decision may still
+			// be fresher than what we hold.
+			p.noteDecision(v.Prev)
+		}
+	case *wire.Decision:
+		p.handleDecision(v)
+	case *wire.Recover:
+		p.handleRecover(v)
+	case *wire.Retransmit:
+		for _, m := range v.Msgs {
+			p.handleData(m)
+		}
+	}
+}
+
+func (p *Process) handleData(m *causal.Message) {
+	if m.Validate() != nil {
+		return // malformed; a real deployment would log this
+	}
+	if m.ID.Seq <= p.tracker.LastProcessed(m.ID.Proc) || p.wait.Has(m.ID) {
+		p.Stats.Duplicates++
+		return
+	}
+	if p.tracker.Doomed(m) {
+		p.Stats.Duplicates++
+		return // destroyed by agreement; never process, never wait
+	}
+	if p.tracker.Ready(m) {
+		p.processMsg(m)
+		p.cascade()
+		return
+	}
+	p.wait.Add(m)
+}
+
+func (p *Process) processMsg(m *causal.Message) {
+	if err := p.tracker.Process(m); err != nil {
+		// Ordering violations are protocol bugs; surface loudly.
+		panic(fmt.Sprintf("core: process %d: %v", p.id, err))
+	}
+	if err := p.hist.Store(m); err != nil {
+		panic(fmt.Sprintf("core: process %d: %v", p.id, err))
+	}
+	p.Stats.ProcessedN++
+	if p.cb.OnProcess != nil {
+		p.cb.OnProcess(m)
+	}
+}
+
+func (p *Process) cascade() {
+	for {
+		m := p.wait.NextReady(p.tracker)
+		if m == nil {
+			return
+		}
+		p.wait.Remove(m.ID)
+		p.processMsg(m)
+	}
+}
+
+// noteDecision keeps the freshest decision seen without applying it (used
+// for decisions gleaned from forwarded requests).
+func (p *Process) noteDecision(d *wire.Decision) {
+	if p.lastDec == nil || d.Subrun > p.lastDec.Subrun {
+		p.lastDec = d
+	}
+}
+
+func (p *Process) handleDecision(d *wire.Decision) {
+	if p.lastDec != nil && d.Subrun <= p.lastDec.Subrun {
+		return // stale
+	}
+	if d.Subrun == p.subrun {
+		p.decisionThisSub = true
+		p.missedCoords = 0
+	}
+	p.applyDecision(d)
+}
+
+func (p *Process) applyDecision(d *wire.Decision) {
+	p.lastDec = d
+	if p.cb.OnDecision != nil {
+		p.cb.OnDecision(d)
+	}
+
+	// Group composition: adopt the decision's crash declarations.
+	p.view.ApplyMask(d.Alive)
+	if int(p.id) < len(d.Alive) && !d.Alive[p.id] {
+		// We are supposed dead: commit suicide.
+		p.leave(Suicide)
+		return
+	}
+
+	// History cleaning: only a full-group stability vector may purge.
+	if d.FullGroup {
+		// Clip to what we ourselves processed: stability says everyone
+		// covered processed these, and we are alive, but clip defensively.
+		clean := d.CleanTo.Clone()
+		clean.MinInto(p.tracker.Processed())
+		p.hist.CleanTo(clean)
+
+		// Orphaned sequences: a gap above the best alive holder of a
+		// crashed root's sequence can never be filled; the group destroys
+		// the dependents and restarts the sequence's consumers after the
+		// gap... which is to say, never (a sequence cannot skip).
+		for q := 0; q < p.cfg.N; q++ {
+			if q >= len(d.Alive) || d.Alive[q] {
+				continue
+			}
+			qp := mid.ProcID(q)
+			if d.MinWaiting[q] != 0 && d.MinWaiting[q] > d.MaxProcessed[q]+1 {
+				if p.tracker.LastProcessed(qp) <= d.MaxProcessed[q] {
+					_ = p.tracker.Condemn(qp, d.MaxProcessed[q]+1)
+				}
+			}
+		}
+		for _, m := range p.wait.DropDoomed(p.tracker) {
+			p.Stats.Discarded++
+			if p.cb.OnDiscard != nil {
+				p.cb.OnDiscard(m)
+			}
+		}
+	}
+
+	// Recovery from history: chase every sequence the decision proves we
+	// are behind on.
+	p.requestRecovery(d)
+
+	// The R rule: leaving after R recovery attempts with no progress.
+	cur := p.tracker.Processed().Sum()
+	if p.recoveryRequested {
+		if cur == p.lastProgress {
+			p.recoveryFailures++
+			if p.cfg.SelfExclusion && p.recoveryFailures >= p.cfg.R {
+				p.leave(RecoveryExhausted)
+				return
+			}
+		} else {
+			p.recoveryFailures = 0
+		}
+	}
+	p.lastProgress = cur
+}
+
+func (p *Process) requestRecovery(d *wire.Decision) {
+	wantsBy := make(map[mid.ProcID][]wire.WantRange)
+	batch := p.cfg.recoveryBatch()
+	for q := 0; q < p.cfg.N && q < len(d.MaxProcessed); q++ {
+		qp := mid.ProcID(q)
+		have := p.tracker.LastProcessed(qp)
+		if d.MaxProcessed[q] <= have {
+			continue
+		}
+		if c := p.tracker.CondemnedFrom(qp); c != 0 && have+1 >= c {
+			continue // the gap is condemned, not recoverable
+		}
+		from := have + 1
+		if p.wait.Has(mid.MID{Proc: qp, Seq: from}) {
+			continue // already received; waiting on cross deps, not on q
+		}
+		holder := d.MostUpdated[q]
+		if holder == p.id || holder == mid.None {
+			continue
+		}
+		to := d.MaxProcessed[q]
+		if to > from+batch-1 {
+			to = from + batch - 1
+		}
+		wantsBy[holder] = append(wantsBy[holder], wire.WantRange{Proc: qp, From: from, To: to})
+	}
+	if len(wantsBy) == 0 {
+		p.recoveryRequested = false
+		return
+	}
+	p.recoveryRequested = true
+	for h := 0; h < p.cfg.N; h++ { // fixed order keeps runs reproducible
+		holder := mid.ProcID(h)
+		wants, ok := wantsBy[holder]
+		if !ok {
+			continue
+		}
+		p.Stats.Recoveries++
+		p.tp.Send(holder, &wire.Recover{Requester: p.id, Wants: wants})
+	}
+}
+
+func (p *Process) handleRecover(r *wire.Recover) {
+	var msgs []*causal.Message
+	for _, w := range r.Wants {
+		msgs = append(msgs, p.hist.Range(w.Proc, w.From, w.To)...)
+	}
+	if len(msgs) == 0 {
+		return
+	}
+	p.Stats.Retransmits++
+	p.tp.Send(r.Requester, &wire.Retransmit{Responder: p.id, Msgs: msgs})
+}
+
+func (p *Process) leave(reason LeaveReason) {
+	if !p.running {
+		return
+	}
+	p.running = false
+	if p.cb.OnLeave != nil {
+		p.cb.OnLeave(reason)
+	}
+}
+
+// computeDecision folds the collected requests and the freshest circulated
+// decision into this subrun's decision. See Figure 2 of the paper.
+func (p *Process) computeDecision() *wire.Decision {
+	n := p.cfg.N
+
+	// Deterministic iteration order over the collected requests.
+	senders := make([]mid.ProcID, 0, len(p.requests))
+	for q := 0; q < n; q++ {
+		if _, ok := p.requests[mid.ProcID(q)]; ok {
+			senders = append(senders, mid.ProcID(q))
+		}
+	}
+
+	// The freshest previous decision: ours or any carried by a request.
+	prev := p.lastDec
+	for _, sender := range senders {
+		if r := p.requests[sender]; r.Prev != nil && (prev == nil || r.Prev.Subrun > prev.Subrun) {
+			prev = r.Prev
+		}
+	}
+
+	d := &wire.Decision{
+		Subrun:       p.subrun,
+		Coord:        p.id,
+		MaxProcessed: mid.NewSeqVector(n),
+		MostUpdated:  make([]mid.ProcID, n),
+		MinWaiting:   mid.NewSeqVector(n),
+		CleanTo:      mid.NewSeqVector(n),
+		Attempts:     make([]uint8, n),
+		Alive:        make([]bool, n),
+		Covered:      make([]bool, n),
+	}
+	for q := range d.MostUpdated {
+		d.MostUpdated[q] = mid.None
+	}
+
+	// Group composition: start from local view folded with the previous
+	// decision's mask (crash knowledge only accrues), then count silence.
+	if prev != nil {
+		p.view.ApplyMask(prev.Alive)
+	}
+	heard := make([]bool, n)
+	for sender := range p.requests {
+		if int(sender) < n {
+			heard[sender] = true
+		}
+	}
+	att := group.NewAttempts(n, p.cfg.K)
+	if prev != nil {
+		att.Load(prev.Attempts)
+	}
+	for _, crashed := range att.Observe(heard, p.view) {
+		p.view.MarkCrashed(crashed)
+	}
+	copy(d.Attempts, att.Counts())
+	copy(d.Alive, p.view.AliveMask())
+
+	// Most-updated holders, pruned to alive processes so recovery targets
+	// can actually answer.
+	if prev != nil {
+		for q := 0; q < n && q < len(prev.MaxProcessed); q++ {
+			h := prev.MostUpdated[q]
+			if h != mid.None && p.view.Alive(h) {
+				d.MaxProcessed[q] = prev.MaxProcessed[q]
+				d.MostUpdated[q] = h
+			}
+		}
+	}
+	for _, sender := range senders {
+		r := p.requests[sender]
+		for q := 0; q < n && q < len(r.LastProcessed); q++ {
+			if r.LastProcessed[q] > d.MaxProcessed[q] {
+				d.MaxProcessed[q] = r.LastProcessed[q]
+				d.MostUpdated[q] = sender
+			}
+		}
+	}
+
+	// Stability chain (CleanTo/Covered) and the waiting minima: continue
+	// the previous chain if it was still accumulating, else start afresh.
+	chaining := prev != nil && !prev.FullGroup
+	if chaining {
+		copy(d.Covered, prev.Covered)
+		copy(d.CleanTo, prev.CleanTo)
+		copy(d.MinWaiting, prev.MinWaiting)
+	} else {
+		for q := range d.CleanTo {
+			d.CleanTo[q] = ^mid.Seq(0) // +inf until first report folds in
+		}
+	}
+	for _, sender := range senders {
+		r := p.requests[sender]
+		if int(sender) < n {
+			d.Covered[sender] = true
+		}
+		d.CleanTo.MinInto(r.LastProcessed)
+		for q := 0; q < n && q < len(r.Waiting); q++ {
+			if w := r.Waiting[q]; w != 0 && (d.MinWaiting[q] == 0 || w < d.MinWaiting[q]) {
+				d.MinWaiting[q] = w
+			}
+		}
+	}
+	for q := range d.CleanTo {
+		if d.CleanTo[q] == ^mid.Seq(0) {
+			d.CleanTo[q] = 0 // nobody reported; nothing provably stable
+		}
+	}
+
+	// Full group: every currently-alive process is covered by the chain.
+	d.FullGroup = true
+	for q := 0; q < n; q++ {
+		if d.Alive[q] && !d.Covered[q] {
+			d.FullGroup = false
+			break
+		}
+	}
+	return d
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CSV renderers: machine-readable forms of every experiment, for plotting
+// the figures with external tools. Columns mirror Render's tables.
+
+func csvJoin(rows [][]string) string {
+	var b strings.Builder
+	for _, r := range rows {
+		b.WriteString(strings.Join(r, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders Figure 4 as CSV.
+func (r Fig4Result) CSV() string {
+	rows := [][]string{{"load", "reliable_rtd", "crash_rtd", "omit500_rtd", "omit100_rtd"}}
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			fmt.Sprintf("%g", p.Load), f2(p.DReliable), f2(p.DCrash), f2(p.DOmit500), f2(p.DOmit100),
+		})
+	}
+	return csvJoin(rows)
+}
+
+// CSV renders Figure 5 as CSV.
+func (r Fig5Result) CSV() string {
+	rows := [][]string{{"f", "urcgc_analytic", "urcgc_measured", "cbcast_analytic", "cbcast_measured", "psync_measured"}}
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			fmt.Sprint(p.F),
+			f1(p.URCGCAnalytic), f1(p.URCGCMeasured),
+			f1(p.CBCASTAnalytic), f1(p.CBCASTMeasured),
+			f1(p.PsyncMeasured),
+		})
+	}
+	return csvJoin(rows)
+}
+
+// CSV renders Table 1 as CSV.
+func (r Table1Result) CSV() string {
+	rows := [][]string{{"protocol", "n", "condition", "ctl_msgs_per_subrun", "paper_msgs_per_subrun", "mean_size_bytes", "max_size_bytes"}}
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Protocol, fmt.Sprint(row.N), row.Condition,
+			f1(row.MsgsPerSubrun), f1(row.PaperMsgs), f1(row.MeanSize), fmt.Sprint(row.MaxSize),
+		})
+	}
+	return csvJoin(rows)
+}
+
+// CSV renders Figure 6a/6b as long-form CSV (one row per sample).
+func (r Fig6Result) CSV() string {
+	rows := [][]string{{"curve", "k", "faulty", "flow_control", "rtd", "history_len"}}
+	for _, c := range r.Curves {
+		for i := range c.Series.T {
+			rows = append(rows, []string{
+				c.Label, fmt.Sprint(c.K), fmt.Sprint(c.Faulty), fmt.Sprint(r.FlowControl),
+				fmt.Sprintf("%g", c.Series.T[i]), fmt.Sprintf("%g", c.Series.V[i]),
+			})
+		}
+	}
+	return csvJoin(rows)
+}
+
+// CSV renders the throughput comparison as CSV.
+func (r ThroughputResult) CSV() string {
+	rows := [][]string{
+		{"protocol", "before_per_rtd", "during_per_rtd", "after_per_rtd"},
+		{"urcgc", f1(r.URCGCBefore), f1(r.URCGCDuring), f1(r.URCGCAfter)},
+		{"cbcast", f1(r.CBCASTBefore), f1(r.CBCASTDuring), f1(r.CBCASTAfter)},
+	}
+	return csvJoin(rows)
+}

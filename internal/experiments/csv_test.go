@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCSVShapes(t *testing.T) {
+	f4 := Fig4Result{Points: []Fig4Point{{Load: 0.5, DReliable: 0.25, DCrash: 0.26, DOmit500: 0.27, DOmit100: 0.28}}}
+	if got := f4.CSV(); !strings.HasPrefix(got, "load,") || !strings.Contains(got, "0.5,0.25,0.26,0.27,0.28") {
+		t.Errorf("Fig4 CSV:\n%s", got)
+	}
+	f5 := Fig5Result{Points: []Fig5Point{{F: 1, URCGCAnalytic: 7, URCGCMeasured: 3.8, CBCASTAnalytic: 33, CBCASTMeasured: 19.3}}}
+	if got := f5.CSV(); !strings.Contains(got, "1,7.0,3.8,33.0,19.3,0.0") {
+		t.Errorf("Fig5 CSV:\n%s", got)
+	}
+	t1 := Table1Result{Rows: []Table1Row{{Protocol: "urcgc", N: 15, Condition: "reliable", MsgsPerSubrun: 28, PaperMsgs: 28, MeanSize: 339.1, MaxSize: 403}}}
+	if got := t1.CSV(); !strings.Contains(got, "urcgc,15,reliable,28.0,28.0,339.1,403") {
+		t.Errorf("Table1 CSV:\n%s", got)
+	}
+	var f6 Fig6Result
+	f6.Curves = []Fig6Curve{{Label: "K=2 faulty", K: 2, Faulty: true}}
+	f6.Curves[0].Series.T = []float64{0, 1}
+	f6.Curves[0].Series.V = []float64{40, 80}
+	if got := f6.CSV(); !strings.Contains(got, "K=2 faulty,2,true,false,1,80") {
+		t.Errorf("Fig6 CSV:\n%s", got)
+	}
+	th := ThroughputResult{URCGCBefore: 100, URCGCDuring: 81, URCGCAfter: 81, CBCASTBefore: 100, CBCASTDuring: 37.4, CBCASTAfter: 89.7}
+	if got := th.CSV(); !strings.Contains(got, "urcgc,100.0,81.0,81.0") || !strings.Contains(got, "cbcast,100.0,37.4,89.7") {
+		t.Errorf("Throughput CSV:\n%s", got)
+	}
+}

@@ -1,0 +1,282 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// The experiment tests assert the SHAPES the paper reports, on smaller
+// configurations so the suite stays fast.
+
+func TestFig4Shape(t *testing.T) {
+	cfg := Fig4Config{
+		N: 8, K: 3,
+		Loads:   []float64{0.2, 0.6, 1.0},
+		Subruns: 80,
+		Crashes: 3,
+		Seed:    1,
+	}
+	res, err := Fig4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	for _, p := range res.Points {
+		// Reliable delay sits in the sub-rtd band (>= half a one-way trip).
+		if p.DReliable < 0.1 || p.DReliable > 1.0 {
+			t.Errorf("load %.1f: reliable D = %.2f rtd outside sane band", p.Load, p.DReliable)
+		}
+		// Headline: crashes do not degrade the delay (within 25%).
+		if p.DCrash > p.DReliable*1.25+0.05 {
+			t.Errorf("load %.1f: crash D %.3f should track reliable D %.3f", p.Load, p.DCrash, p.DReliable)
+		}
+		// Omissions degrade it, and 1/100 at least as much as 1/500.
+		if p.DOmit100 < p.DOmit500*0.9 {
+			t.Errorf("load %.1f: D(1/100)=%.3f should be >= D(1/500)=%.3f", p.Load, p.DOmit100, p.DOmit500)
+		}
+		if p.DOmit100 <= p.DReliable {
+			t.Errorf("load %.1f: omissions should raise D: %.3f vs %.3f", p.Load, p.DOmit100, p.DReliable)
+		}
+	}
+	if !strings.Contains(res.Render(), "Figure 4") {
+		t.Error("Render missing title")
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	cfg := Fig5Config{N: 10, K: 2, Fs: []int{0, 1, 2}, Seed: 1}
+	res, err := Fig5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range res.Points {
+		if p.URCGCAnalytic != float64(2*cfg.K+p.F) {
+			t.Errorf("f=%d: urcgc analytic %.0f", p.F, p.URCGCAnalytic)
+		}
+		if p.CBCASTAnalytic != float64(cfg.K*(5*p.F+6)) {
+			t.Errorf("f=%d: cbcast analytic %.0f", p.F, p.CBCASTAnalytic)
+		}
+		if p.URCGCMeasured <= 0 || math.IsNaN(p.URCGCMeasured) {
+			t.Errorf("f=%d: urcgc unmeasured (%v)", p.F, p.URCGCMeasured)
+		}
+		if p.CBCASTMeasured <= 0 || math.IsNaN(p.CBCASTMeasured) {
+			t.Errorf("f=%d: cbcast unmeasured (%v)", p.F, p.CBCASTMeasured)
+		}
+		// CBCAST pays a blocking flush: always costlier than urcgc.
+		if p.CBCASTMeasured <= p.URCGCMeasured {
+			t.Errorf("f=%d: cbcast %.1f should exceed urcgc %.1f", p.F, p.CBCASTMeasured, p.URCGCMeasured)
+		}
+		// Both grow with f.
+		if i > 0 {
+			prev := res.Points[i-1]
+			if p.URCGCMeasured+0.5 < prev.URCGCMeasured {
+				t.Errorf("urcgc T should not shrink with f: f=%d %.1f vs f=%d %.1f", p.F, p.URCGCMeasured, prev.F, prev.URCGCMeasured)
+			}
+			if p.CBCASTMeasured+0.5 < prev.CBCASTMeasured {
+				t.Errorf("cbcast T should not shrink with f: f=%d %.1f vs f=%d %.1f", p.F, p.CBCASTMeasured, prev.F, prev.CBCASTMeasured)
+			}
+		}
+	}
+	// Psync's mask_out (measured at f=0 only) also blocks and costs more
+	// than urcgc's embedded handling.
+	if p0 := res.Points[0]; !(p0.PsyncMeasured > p0.URCGCMeasured) {
+		t.Errorf("psync mask_out %.1f should exceed urcgc %.1f", p0.PsyncMeasured, p0.URCGCMeasured)
+	}
+	// urcgc's growth is gentle (slope ~1 per f); cbcast's steep (~5K).
+	first, last := res.Points[0], res.Points[len(res.Points)-1]
+	df := float64(last.F - first.F)
+	uSlope := (last.URCGCMeasured - first.URCGCMeasured) / df
+	cSlope := (last.CBCASTMeasured - first.CBCASTMeasured) / df
+	if cSlope <= uSlope {
+		t.Errorf("cbcast slope %.2f should exceed urcgc slope %.2f", cSlope, uSlope)
+	}
+	if !strings.Contains(res.Render(), "Figure 5") {
+		t.Error("Render missing title")
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	cfg := Table1Config{Ns: []int{15}, K: 2, Subruns: 30, Seed: 1}
+	res, err := Table1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]Table1Row{}
+	for _, r := range res.Rows {
+		byKey[r.Protocol+"/"+r.Condition] = r
+	}
+	ur, uc := byKey["urcgc/reliable"], byKey["urcgc/crash"]
+	cr, cc := byKey["cbcast/reliable"], byKey["cbcast/crash"]
+
+	// urcgc reliable: ~2(n-1)=28 control msgs per subrun.
+	if ur.MsgsPerSubrun < 20 || ur.MsgsPerSubrun > 36 {
+		t.Errorf("urcgc reliable ctl/subrun = %.1f, want near 28", ur.MsgsPerSubrun)
+	}
+	// urcgc control sizes unchanged by the crash (within 30%).
+	if uc.MeanSize > ur.MeanSize*1.3 {
+		t.Errorf("urcgc crash mean size %.0f vs reliable %.0f: should stay flat", uc.MeanSize, ur.MeanSize)
+	}
+	// urcgc control messages fit a minimum IP datagram at n=15.
+	if !ur.FitsIPDatagram {
+		t.Errorf("urcgc n=15 control message of %dB should fit 576B", ur.MaxSize)
+	}
+	// CBCAST reliable: fewer and shorter control messages than urcgc.
+	if cr.MsgsPerSubrun >= ur.MsgsPerSubrun {
+		t.Errorf("cbcast reliable ctl/subrun %.1f should undercut urcgc %.1f", cr.MsgsPerSubrun, ur.MsgsPerSubrun)
+	}
+	// The opposite under crashes: CBCAST's flush inflates its control
+	// traffic growth far beyond urcgc's.
+	cbGrowth := cc.MsgsPerSubrun - cr.MsgsPerSubrun
+	urGrowth := uc.MsgsPerSubrun - ur.MsgsPerSubrun
+	if cbGrowth <= urGrowth {
+		t.Errorf("crash should inflate cbcast control traffic more: cbcast +%.1f vs urcgc +%.1f", cbGrowth, urGrowth)
+	}
+	if !strings.Contains(res.Render(), "Table 1") {
+		t.Error("Render missing title")
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	cfg := Fig6Config{
+		N:             10,
+		Messages:      120,
+		Ks:            []int{2, 4},
+		Threshold:     30, // tighter than 8n so the small config exercises it
+		FailWindowRTD: 5,
+		Seed:          1,
+	}
+	a, err := Fig6a(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curves := map[string]Fig6Curve{}
+	for _, c := range a.Curves {
+		curves[c.Label] = c
+	}
+	// Reliable: history bounded by ~2n regardless of K.
+	for _, k := range cfg.Ks {
+		rel := curves[labelOf(k, false, false)]
+		if rel.Peak > float64(2*cfg.N) {
+			t.Errorf("K=%d reliable peak %v > 2n", k, rel.Peak)
+		}
+		if rel.DoneRTD < 0 {
+			t.Errorf("K=%d reliable never completed", k)
+		}
+	}
+	// Faulty: history grows with K.
+	f2c, f4c := curves[labelOf(2, true, false)], curves[labelOf(4, true, false)]
+	if !(f4c.Peak > f2c.Peak) {
+		t.Errorf("faulty peak should grow with K: K=2 %v vs K=4 %v", f2c.Peak, f4c.Peak)
+	}
+	// Faulty exceeds reliable for the same K.
+	if !(f4c.Peak > curves[labelOf(4, false, false)].Peak) {
+		t.Error("failures should lengthen the history")
+	}
+
+	b, err := Fig6b(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bcurves := map[string]Fig6Curve{}
+	for _, c := range b.Curves {
+		bcurves[c.Label] = c
+	}
+	for _, k := range cfg.Ks {
+		fc := bcurves[labelOf(k, true, true)]
+		// Flow control bounds the history near the threshold (one
+		// generation wave of slack).
+		if fc.Peak > float64(cfg.Threshold+cfg.N) {
+			t.Errorf("K=%d flow-controlled peak %v exceeds threshold+n", k, fc.Peak)
+		}
+		if fc.DoneRTD < 0 {
+			t.Errorf("K=%d flow-controlled run never completed", k)
+		}
+		// ...at the price of not finishing earlier than the uncontrolled
+		// run (when that one was actually constrained).
+		un := curves[labelOf(k, true, false)]
+		if un.Peak > float64(cfg.Threshold) && un.DoneRTD > 0 && fc.DoneRTD+1 < un.DoneRTD {
+			t.Errorf("K=%d: flow control should not finish sooner: %v vs %v", k, fc.DoneRTD, un.DoneRTD)
+		}
+	}
+	if !strings.Contains(a.Render(), "Figure 6a") || !strings.Contains(b.Render(), "Figure 6b") {
+		t.Error("Render titles wrong")
+	}
+}
+
+func labelOf(k int, faulty, flow bool) string {
+	l := "K=" + itoa(k) + " reliable"
+	if faulty {
+		l = "K=" + itoa(k) + " faulty"
+	}
+	if flow {
+		l += " +fc"
+	}
+	return l
+}
+
+func itoa(v int) string {
+	return strings.TrimSpace(strings.Replace(string(rune('0'+v)), "\x00", "", -1))
+}
+
+func TestThroughputShape(t *testing.T) {
+	res, err := Throughput(ThroughputConfig{N: 8, K: 2, Subruns: 60, CrashAt: 15, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both run at full rate before the crash (n messages per subrun, each
+	// processed by n members: ~n*n per rtd, minus pipeline edges).
+	if res.URCGCBefore < 40 || res.CBCASTBefore < 40 {
+		t.Errorf("before-crash rates too low: urcgc %.1f cbcast %.1f", res.URCGCBefore, res.CBCASTBefore)
+	}
+	// The paper's claim: during detection urcgc keeps processing (it loses
+	// only the dead member's share) while CBCAST's blocking flush cuts its
+	// rate much deeper.
+	urcgcDrop := res.URCGCDuring / res.URCGCBefore
+	cbcastDrop := res.CBCASTDuring / res.CBCASTBefore
+	if urcgcDrop < 0.6 {
+		t.Errorf("urcgc throughput dropped to %.0f%% during detection", urcgcDrop*100)
+	}
+	if cbcastDrop >= urcgcDrop {
+		t.Errorf("cbcast should suffer more during its flush: urcgc %.0f%% vs cbcast %.0f%%",
+			urcgcDrop*100, cbcastDrop*100)
+	}
+	// Both recover afterwards.
+	if res.URCGCAfter < res.URCGCBefore*0.6 || res.CBCASTAfter < res.CBCASTBefore*0.6 {
+		t.Errorf("post-crash rates: urcgc %.1f cbcast %.1f", res.URCGCAfter, res.CBCASTAfter)
+	}
+	if !strings.Contains(res.Render(), "Throughput") {
+		t.Error("Render missing title")
+	}
+}
+
+func TestAblationShape(t *testing.T) {
+	res, err := Ablation(DefaultAblation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Section 5's trade: h=1 repairs from history, h>1 in the transport.
+	if res.H1Retries != 0 {
+		t.Errorf("h=1 produced %d transport retries", res.H1Retries)
+	}
+	if res.H1Recoveries == 0 || res.H4Retries == 0 {
+		t.Errorf("repair missing: h1rec=%d h4ret=%d", res.H1Recoveries, res.H4Retries)
+	}
+	if res.H4Recoveries >= res.H1Recoveries {
+		t.Errorf("h=4 should cut history recoveries: %d vs %d", res.H4Recoveries, res.H1Recoveries)
+	}
+	// Section 3's concurrency argument: temporal labels block more.
+	if res.TemporalWaitPeak <= res.IntermediateWaitPeak {
+		t.Errorf("temporal labelling should park more messages: %.0f vs %.0f",
+			res.TemporalWaitPeak, res.IntermediateWaitPeak)
+	}
+	// Flow control bounds the peak.
+	if res.PeakFC >= res.PeakNoFC {
+		t.Errorf("flow control should cut the peak: %.0f vs %.0f", res.PeakFC, res.PeakNoFC)
+	}
+	if !strings.Contains(res.Render(), "Ablations") || !strings.Contains(res.CSV(), "transport_h1") {
+		t.Error("render/CSV wrong")
+	}
+}

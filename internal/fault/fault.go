@@ -1,0 +1,266 @@
+// Package fault implements the general omission failure model of Section 3
+// of the paper: a process fails either by crashing (fail stop) or by
+// omitting to send or receive a subset of the messages the protocol
+// requires. Subnetwork packet loss is modelled as an omission attributed to
+// the link, which the protocol cannot distinguish from process omissions —
+// exactly the property urcgc exploits to stay transport-agnostic.
+//
+// Injectors are deterministic given their construction parameters (and
+// seed, where randomized), so experiment runs are reproducible.
+package fault
+
+import (
+	"math/rand"
+
+	"urcgc/internal/mid"
+	"urcgc/internal/sim"
+)
+
+// Injector decides which failures occur. The simulated network consults it
+// on every packet, and node drivers consult Crashed to halt fail-stopped
+// processes.
+type Injector interface {
+	// Crashed reports whether process p has crashed by time now.
+	Crashed(p mid.ProcID, now sim.Time) bool
+	// DropSend reports whether a send omission (at src, or in the subnet)
+	// destroys the packet src->dst submitted at time now.
+	DropSend(src, dst mid.ProcID, now sim.Time) bool
+	// DropRecv reports whether a receive omission at dst destroys the
+	// packet src->dst that would be delivered at time now.
+	DropRecv(src, dst mid.ProcID, now sim.Time) bool
+}
+
+// None is the reliable system: no failures at all.
+type None struct{}
+
+// Crashed implements Injector.
+func (None) Crashed(mid.ProcID, sim.Time) bool { return false }
+
+// DropSend implements Injector.
+func (None) DropSend(mid.ProcID, mid.ProcID, sim.Time) bool { return false }
+
+// DropRecv implements Injector.
+func (None) DropRecv(mid.ProcID, mid.ProcID, sim.Time) bool { return false }
+
+// Crash fail-stops one process at a fixed time. From At onwards the process
+// neither sends nor receives, permanently.
+type Crash struct {
+	Proc mid.ProcID
+	At   sim.Time
+}
+
+// Crashed implements Injector.
+func (c Crash) Crashed(p mid.ProcID, now sim.Time) bool {
+	return p == c.Proc && now >= c.At
+}
+
+// DropSend implements Injector. A crashed sender emits nothing.
+func (c Crash) DropSend(src, _ mid.ProcID, now sim.Time) bool {
+	return c.Crashed(src, now)
+}
+
+// DropRecv implements Injector. A crashed receiver absorbs nothing.
+func (c Crash) DropRecv(_, dst mid.ProcID, now sim.Time) bool {
+	return c.Crashed(dst, now)
+}
+
+// EveryNth drops every N-th packet it is consulted about, counting all
+// packets globally. This is the deterministic reading of the paper's
+// "one omission failure each 500 messages" (the 1/500 and 1/100 curves of
+// Figure 4). With Side selecting where the omission occurs it covers send
+// omissions, receive omissions, and subnet loss, which all look identical
+// to the protocol.
+type EveryNth struct {
+	N    int
+	Side Side
+	sent int
+	recv int
+}
+
+// Side selects where an omission is charged.
+type Side int
+
+// Omission sides.
+const (
+	AtSend Side = iota // sender-side or subnet loss before the wire
+	AtRecv             // receiver-side loss (e.g. buffer overflow)
+)
+
+// Crashed implements Injector.
+func (*EveryNth) Crashed(mid.ProcID, sim.Time) bool { return false }
+
+// DropSend implements Injector.
+func (e *EveryNth) DropSend(_, _ mid.ProcID, _ sim.Time) bool {
+	if e.Side != AtSend || e.N <= 0 {
+		return false
+	}
+	e.sent++
+	return e.sent%e.N == 0
+}
+
+// DropRecv implements Injector.
+func (e *EveryNth) DropRecv(_, _ mid.ProcID, _ sim.Time) bool {
+	if e.Side != AtRecv || e.N <= 0 {
+		return false
+	}
+	e.recv++
+	return e.recv%e.N == 0
+}
+
+// Rate drops packets independently with probability P, using its own seeded
+// RNG so different injectors do not perturb each other's streams.
+type Rate struct {
+	P    float64
+	Side Side
+	rng  *rand.Rand
+}
+
+// NewRate returns a probabilistic omission injector with the given drop
+// probability, side and seed.
+func NewRate(p float64, side Side, seed int64) *Rate {
+	return &Rate{P: p, Side: side, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Crashed implements Injector.
+func (*Rate) Crashed(mid.ProcID, sim.Time) bool { return false }
+
+// DropSend implements Injector.
+func (r *Rate) DropSend(_, _ mid.ProcID, _ sim.Time) bool {
+	return r.Side == AtSend && r.rng.Float64() < r.P
+}
+
+// DropRecv implements Injector.
+func (r *Rate) DropRecv(_, _ mid.ProcID, _ sim.Time) bool {
+	return r.Side == AtRecv && r.rng.Float64() < r.P
+}
+
+// During confines an inner injector's omissions to the window [From, To).
+// Crashes are not windowed — a crash inside the window is still permanent —
+// matching Figure 6's "failures are considered to occur during the first
+// 5 rtd".
+type During struct {
+	From, To sim.Time
+	Inner    Injector
+}
+
+// Crashed implements Injector.
+func (d During) Crashed(p mid.ProcID, now sim.Time) bool {
+	return d.Inner.Crashed(p, now)
+}
+
+// DropSend implements Injector.
+func (d During) DropSend(src, dst mid.ProcID, now sim.Time) bool {
+	if now < d.From || now >= d.To {
+		return false
+	}
+	return d.Inner.DropSend(src, dst, now)
+}
+
+// DropRecv implements Injector.
+func (d During) DropRecv(src, dst mid.ProcID, now sim.Time) bool {
+	if now < d.From || now >= d.To {
+		return false
+	}
+	return d.Inner.DropRecv(src, dst, now)
+}
+
+// OnlyProc restricts an inner injector's omissions to packets sent by (for
+// send omissions) or addressed to (for receive omissions) one process,
+// modelling a single faulty process under the general omission model.
+type OnlyProc struct {
+	Proc  mid.ProcID
+	Inner Injector
+}
+
+// Crashed implements Injector.
+func (o OnlyProc) Crashed(p mid.ProcID, now sim.Time) bool {
+	return o.Inner.Crashed(p, now)
+}
+
+// DropSend implements Injector.
+func (o OnlyProc) DropSend(src, dst mid.ProcID, now sim.Time) bool {
+	return src == o.Proc && o.Inner.DropSend(src, dst, now)
+}
+
+// DropRecv implements Injector.
+func (o OnlyProc) DropRecv(src, dst mid.ProcID, now sim.Time) bool {
+	return dst == o.Proc && o.Inner.DropRecv(src, dst, now)
+}
+
+// Multi composes injectors: a failure occurs if any member injects it.
+type Multi []Injector
+
+// Crashed implements Injector.
+func (m Multi) Crashed(p mid.ProcID, now sim.Time) bool {
+	for _, in := range m {
+		if in.Crashed(p, now) {
+			return true
+		}
+	}
+	return false
+}
+
+// DropSend implements Injector.
+func (m Multi) DropSend(src, dst mid.ProcID, now sim.Time) bool {
+	drop := false
+	for _, in := range m {
+		// Consult every member so counter-based injectors advance
+		// consistently regardless of composition order.
+		if in.DropSend(src, dst, now) {
+			drop = true
+		}
+	}
+	return drop
+}
+
+// DropRecv implements Injector.
+func (m Multi) DropRecv(src, dst mid.ProcID, now sim.Time) bool {
+	drop := false
+	for _, in := range m {
+		if in.DropRecv(src, dst, now) {
+			drop = true
+		}
+	}
+	return drop
+}
+
+// Crashes builds one Crash injector per entry of schedule, mapping process
+// to crash time.
+func Crashes(schedule map[mid.ProcID]sim.Time) Multi {
+	m := make(Multi, 0, len(schedule))
+	// Deterministic order for reproducibility of any rng-bearing composition.
+	for p := mid.ProcID(0); int(p) < 1<<16; p++ {
+		t, ok := schedule[p]
+		if !ok {
+			continue
+		}
+		m = append(m, Crash{Proc: p, At: t})
+		if len(m) == len(schedule) {
+			break
+		}
+	}
+	return m
+}
+
+// Partition splits the group into two sides for a time window: packets
+// crossing the cut are dropped in both directions; traffic within a side
+// flows normally. Crashes are unaffected. Heal by letting the window end.
+type Partition struct {
+	From, To sim.Time
+	// SideA holds the processes of one side; everyone else is on the other.
+	SideA map[mid.ProcID]bool
+}
+
+// Crashed implements Injector.
+func (Partition) Crashed(mid.ProcID, sim.Time) bool { return false }
+
+// DropSend implements Injector.
+func (p Partition) DropSend(src, dst mid.ProcID, now sim.Time) bool {
+	if now < p.From || now >= p.To {
+		return false
+	}
+	return p.SideA[src] != p.SideA[dst]
+}
+
+// DropRecv implements Injector.
+func (Partition) DropRecv(mid.ProcID, mid.ProcID, sim.Time) bool { return false }

@@ -1,0 +1,189 @@
+package fault
+
+import (
+	"testing"
+
+	"urcgc/internal/mid"
+	"urcgc/internal/sim"
+)
+
+func TestNone(t *testing.T) {
+	var in None
+	if in.Crashed(0, 100) || in.DropSend(0, 1, 0) || in.DropRecv(0, 1, 0) {
+		t.Error("None must never fail anything")
+	}
+}
+
+func TestCrash(t *testing.T) {
+	c := Crash{Proc: 2, At: 100}
+	if c.Crashed(2, 99) {
+		t.Error("not crashed before At")
+	}
+	if !c.Crashed(2, 100) || !c.Crashed(2, 5000) {
+		t.Error("crashed from At onwards")
+	}
+	if c.Crashed(1, 5000) {
+		t.Error("other processes unaffected")
+	}
+	if !c.DropSend(2, 0, 100) {
+		t.Error("crashed sender emits nothing")
+	}
+	if c.DropSend(0, 2, 100) {
+		t.Error("sends to a crashed process still leave the sender")
+	}
+	if !c.DropRecv(0, 2, 100) {
+		t.Error("crashed receiver absorbs nothing")
+	}
+}
+
+func TestEveryNthSend(t *testing.T) {
+	e := &EveryNth{N: 3, Side: AtSend}
+	var drops []int
+	for i := 1; i <= 9; i++ {
+		if e.DropSend(0, 1, 0) {
+			drops = append(drops, i)
+		}
+	}
+	if len(drops) != 3 || drops[0] != 3 || drops[1] != 6 || drops[2] != 9 {
+		t.Errorf("drops = %v", drops)
+	}
+	if e.DropRecv(0, 1, 0) {
+		t.Error("send-side injector must not drop at receive")
+	}
+}
+
+func TestEveryNthRecv(t *testing.T) {
+	e := &EveryNth{N: 2, Side: AtRecv}
+	d1, d2 := e.DropRecv(0, 1, 0), e.DropRecv(0, 1, 0)
+	if d1 || !d2 {
+		t.Errorf("drops = %v %v, want false true", d1, d2)
+	}
+	if e.DropSend(0, 1, 0) {
+		t.Error("recv-side injector must not drop at send")
+	}
+}
+
+func TestEveryNthDisabled(t *testing.T) {
+	e := &EveryNth{N: 0, Side: AtSend}
+	for i := 0; i < 10; i++ {
+		if e.DropSend(0, 1, 0) {
+			t.Fatal("N=0 must never drop")
+		}
+	}
+}
+
+func TestRateDeterministicPerSeed(t *testing.T) {
+	run := func() []bool {
+		r := NewRate(0.5, AtSend, 99)
+		out := make([]bool, 100)
+		for i := range out {
+			out[i] = r.DropSend(0, 1, 0)
+		}
+		return out
+	}
+	a, b := run(), run()
+	drops := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must give same drops")
+		}
+		if a[i] {
+			drops++
+		}
+	}
+	if drops < 30 || drops > 70 {
+		t.Errorf("0.5 rate produced %d/100 drops", drops)
+	}
+	if r := NewRate(0.5, AtSend, 1); r.DropRecv(0, 1, 0) {
+		t.Error("send-side rate must not drop at receive")
+	}
+}
+
+func TestDuringWindowsOmissionsNotCrashes(t *testing.T) {
+	inner := Multi{
+		&EveryNth{N: 1, Side: AtSend}, // drops everything
+		Crash{Proc: 1, At: 50},
+	}
+	d := During{From: 100, To: 200, Inner: inner}
+	if d.DropSend(0, 1, 99) {
+		t.Error("before window")
+	}
+	if !d.DropSend(0, 1, 150) {
+		t.Error("inside window")
+	}
+	if d.DropSend(0, 1, 200) && d.Inner.Crashed(0, 200) {
+		t.Error("at window end")
+	}
+	// DropSend at 200 still true because the crash makes proc 1... no: src 0
+	// is not crashed; EveryNth is windowed out. Verify:
+	if d.DropSend(2, 3, 200) {
+		t.Error("omission outside window must not fire")
+	}
+	if !d.Crashed(1, 300) {
+		t.Error("crash must not be windowed")
+	}
+}
+
+func TestOnlyProc(t *testing.T) {
+	o := OnlyProc{Proc: 1, Inner: &EveryNth{N: 1, Side: AtSend}}
+	if o.DropSend(0, 1, 0) {
+		t.Error("other senders unaffected")
+	}
+	if !o.DropSend(1, 0, 0) {
+		t.Error("target sender drops")
+	}
+	o2 := OnlyProc{Proc: 1, Inner: &EveryNth{N: 1, Side: AtRecv}}
+	if o2.DropRecv(0, 2, 0) {
+		t.Error("other receivers unaffected")
+	}
+	if !o2.DropRecv(0, 1, 0) {
+		t.Error("target receiver drops")
+	}
+}
+
+func TestMultiComposition(t *testing.T) {
+	m := Multi{
+		Crash{Proc: 0, At: 10},
+		&EveryNth{N: 2, Side: AtSend},
+	}
+	if !m.Crashed(0, 10) || m.Crashed(1, 10) {
+		t.Error("Crashed composition wrong")
+	}
+	// First consult: counter 1, no drop. Second: counter 2, drop.
+	if m.DropSend(1, 2, 0) {
+		t.Error("first packet survives")
+	}
+	if !m.DropSend(1, 2, 0) {
+		t.Error("second packet dropped by EveryNth")
+	}
+	// Crashed sender drops regardless of counter.
+	if !m.DropSend(0, 1, 10) {
+		t.Error("crashed sender must drop")
+	}
+}
+
+func TestCrashesBuilder(t *testing.T) {
+	m := Crashes(map[mid.ProcID]sim.Time{3: 100, 1: 50})
+	if len(m) != 2 {
+		t.Fatalf("len = %d", len(m))
+	}
+	if !m.Crashed(1, 50) || !m.Crashed(3, 100) || m.Crashed(2, 1000) {
+		t.Error("schedule not honoured")
+	}
+}
+
+func TestPartition(t *testing.T) {
+	p := Partition{From: 100, To: 200, SideA: map[mid.ProcID]bool{0: true, 1: true}}
+	if p.DropSend(0, 1, 150) {
+		t.Error("same side must flow")
+	}
+	if !p.DropSend(0, 2, 150) || !p.DropSend(2, 1, 150) {
+		t.Error("cross-cut packets must drop in both directions")
+	}
+	if p.DropSend(0, 2, 99) || p.DropSend(0, 2, 200) {
+		t.Error("outside the window nothing drops")
+	}
+	if p.Crashed(0, 150) || p.DropRecv(0, 2, 150) {
+		t.Error("partition neither crashes nor drops at receive")
+	}
+}

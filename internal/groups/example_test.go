@@ -1,0 +1,47 @@
+package groups_test
+
+import (
+	"fmt"
+
+	"urcgc/internal/core"
+	"urcgc/internal/groups"
+	"urcgc/internal/mid"
+)
+
+// A replicated counter: the client calls through server 0, every server
+// applies the increment in the same causal position, and the call completes
+// once a majority agrees on the answer.
+func ExampleService() {
+	cluster, err := core.NewCluster(core.ClusterConfig{
+		Config: core.Config{N: 3, K: 2, R: 5, SelfExclusion: true},
+		Seed:   1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	counters := make([]int, 3)
+	svc, err := groups.NewService(cluster, func(server mid.ProcID, req groups.Request) []byte {
+		counters[server] += int(req.Input[0])
+		return []byte(fmt.Sprintf("%d", counters[server]))
+	})
+	if err != nil {
+		panic(err)
+	}
+	_, err = cluster.Run(core.RunOptions{
+		MaxRounds: 60,
+		MinRounds: 8,
+		OnRound: svc.OnRound(func(round int) {
+			if round == 0 {
+				svc.Call(0, groups.Request{Client: 7, CallID: 1, Input: []byte{5}}, groups.MajorityVote(3))
+			}
+		}),
+		StopWhenQuiescent: true,
+		DrainSubruns:      2,
+	})
+	if err != nil {
+		panic(err)
+	}
+	out, done := svc.Done(7, 1)
+	fmt.Printf("done=%v output=%s\n", done, out)
+	// Output: done=true output=5
+}

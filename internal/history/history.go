@@ -1,0 +1,170 @@
+// Package history implements the urcgc history buffer (Section 4): a table
+// with one entry per group member holding, in sequence order, the processed
+// messages that member generated. The history serves two purposes:
+//
+//   - recovery: a process missing messages asks a more updated peer, which
+//     answers out of its history;
+//   - ordering bookkeeping: the i-th entry describes the dependence among
+//     p_i's own messages, while cross-sequence dependence travels inside
+//     each message.
+//
+// Messages are purged only when stable — processed by every active process —
+// which the coordinator decides and announces in the clean_to vector of its
+// decision. Because stability is a global agreement, all histories stay
+// roughly the same length; Fig. 6 of the paper plots exactly this length,
+// and Len/PerSender expose it.
+package history
+
+import (
+	"fmt"
+
+	"urcgc/internal/causal"
+	"urcgc/internal/mid"
+)
+
+// entry holds one sender's retained suffix of messages. msgs[0] has sequence
+// number base+1; the retained range is [base+1, base+len(msgs)].
+type entry struct {
+	base mid.Seq
+	msgs []*causal.Message
+}
+
+// History is the per-process history buffer. It is not safe for concurrent
+// use; the protocol owns it from a single goroutine.
+type History struct {
+	entries []entry
+	total   int
+}
+
+// New returns an empty history for a group of n processes.
+func New(n int) *History {
+	return &History{entries: make([]entry, n)}
+}
+
+// N returns the group cardinality the history was sized for.
+func (h *History) N() int { return len(h.entries) }
+
+// Store saves a processed message. Messages of one sequence must be stored
+// contiguously in sequence order — the protocol processes them that way —
+// and storing out of order is a bug, reported as an error.
+func (h *History) Store(m *causal.Message) error {
+	p := m.ID.Proc
+	if int(p) >= len(h.entries) || p < 0 {
+		return fmt.Errorf("history: message %v from process outside group of %d", m.ID, len(h.entries))
+	}
+	e := &h.entries[p]
+	want := e.base + mid.Seq(len(e.msgs)) + 1
+	if m.ID.Seq != want {
+		return fmt.Errorf("history: storing %v out of order (next expected seq %d)", m.ID, want)
+	}
+	e.msgs = append(e.msgs, m)
+	h.total++
+	return nil
+}
+
+// Get returns the retained message (q, s), or nil if it is outside the
+// retained range (never stored, or already purged as stable).
+func (h *History) Get(q mid.ProcID, s mid.Seq) *causal.Message {
+	if int(q) >= len(h.entries) || q < 0 || s == 0 {
+		return nil
+	}
+	e := &h.entries[q]
+	if s <= e.base || s > e.base+mid.Seq(len(e.msgs)) {
+		return nil
+	}
+	return e.msgs[s-e.base-1]
+}
+
+// Range returns the retained messages (q, from..to), inclusive, clipped to
+// the retained range. The result is in sequence order.
+func (h *History) Range(q mid.ProcID, from, to mid.Seq) []*causal.Message {
+	if int(q) >= len(h.entries) || q < 0 || to < from {
+		return nil
+	}
+	e := &h.entries[q]
+	if from <= e.base {
+		from = e.base + 1
+	}
+	if hi := e.base + mid.Seq(len(e.msgs)); to > hi {
+		to = hi
+	}
+	if to < from {
+		return nil
+	}
+	out := make([]*causal.Message, 0, to-from+1)
+	for s := from; s <= to; s++ {
+		out = append(out, e.msgs[s-e.base-1])
+	}
+	return out
+}
+
+// MaxSeq returns the highest sequence number of q ever stored (including
+// purged prefixes), i.e. base + retained count.
+func (h *History) MaxSeq(q mid.ProcID) mid.Seq {
+	if int(q) >= len(h.entries) || q < 0 {
+		return 0
+	}
+	e := &h.entries[q]
+	return e.base + mid.Seq(len(e.msgs))
+}
+
+// Base returns the highest purged (stable) sequence number of q.
+func (h *History) Base(q mid.ProcID) mid.Seq {
+	if int(q) >= len(h.entries) || q < 0 {
+		return 0
+	}
+	return h.entries[q].base
+}
+
+// CleanTo purges, for every sender q, the messages with sequence number
+// <= stable[q]. It never purges beyond what is stored and never un-purges.
+// It returns the number of messages released.
+func (h *History) CleanTo(stable mid.SeqVector) int {
+	released := 0
+	for q := range h.entries {
+		if q >= len(stable) {
+			break
+		}
+		e := &h.entries[q]
+		target := stable[q]
+		if hi := e.base + mid.Seq(len(e.msgs)); target > hi {
+			target = hi
+		}
+		if target <= e.base {
+			continue
+		}
+		drop := int(target - e.base)
+		// Copy the tail so the backing array does not pin purged messages.
+		tail := make([]*causal.Message, len(e.msgs)-drop)
+		copy(tail, e.msgs[drop:])
+		e.msgs = tail
+		e.base = target
+		released += drop
+		h.total -= drop
+	}
+	return released
+}
+
+// Len returns the number of messages currently retained across all senders.
+// This is the quantity plotted in Fig. 6 of the paper.
+func (h *History) Len() int { return h.total }
+
+// PerSender returns the retained count per sender.
+func (h *History) PerSender() []int {
+	out := make([]int, len(h.entries))
+	for i := range h.entries {
+		out[i] = len(h.entries[i].msgs)
+	}
+	return out
+}
+
+// Stored returns a vector with, per sender, the highest stored sequence
+// number. It equals the process's last_processed vector when every processed
+// message is stored, which the protocol guarantees.
+func (h *History) Stored() mid.SeqVector {
+	v := mid.NewSeqVector(len(h.entries))
+	for q := range h.entries {
+		v[q] = h.MaxSeq(mid.ProcID(q))
+	}
+	return v
+}

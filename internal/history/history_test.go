@@ -1,0 +1,208 @@
+package history
+
+import (
+	"math/rand"
+	"testing"
+
+	"urcgc/internal/causal"
+	"urcgc/internal/mid"
+)
+
+func msg(p mid.ProcID, s mid.Seq) *causal.Message {
+	return &causal.Message{ID: mid.MID{Proc: p, Seq: s}}
+}
+
+func TestStoreAndGet(t *testing.T) {
+	h := New(3)
+	if err := h.Store(msg(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Store(msg(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Get(1, 2); got == nil || got.ID.Seq != 2 {
+		t.Errorf("Get(1,2) = %v", got)
+	}
+	if h.Get(1, 3) != nil {
+		t.Error("Get of unstored message should be nil")
+	}
+	if h.Get(0, 1) != nil {
+		t.Error("Get from empty entry should be nil")
+	}
+	if h.Get(9, 1) != nil || h.Get(-1, 1) != nil {
+		t.Error("Get out of range should be nil")
+	}
+	if h.Len() != 2 {
+		t.Errorf("Len = %d", h.Len())
+	}
+}
+
+func TestStoreOutOfOrderFails(t *testing.T) {
+	h := New(2)
+	if err := h.Store(msg(0, 2)); err == nil {
+		t.Error("first store must be seq 1")
+	}
+	if err := h.Store(msg(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Store(msg(0, 1)); err == nil {
+		t.Error("duplicate store must fail")
+	}
+	if err := h.Store(msg(0, 3)); err == nil {
+		t.Error("gap store must fail")
+	}
+	if err := h.Store(msg(5, 1)); err == nil {
+		t.Error("store from unknown process must fail")
+	}
+}
+
+func TestCleanTo(t *testing.T) {
+	h := New(2)
+	for s := mid.Seq(1); s <= 5; s++ {
+		if err := h.Store(msg(0, s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	released := h.CleanTo(mid.SeqVector{3, 0})
+	if released != 3 {
+		t.Errorf("released = %d, want 3", released)
+	}
+	if h.Len() != 2 {
+		t.Errorf("Len = %d, want 2", h.Len())
+	}
+	if h.Get(0, 3) != nil {
+		t.Error("purged message should be gone")
+	}
+	if h.Get(0, 4) == nil {
+		t.Error("retained message should remain")
+	}
+	if h.Base(0) != 3 || h.MaxSeq(0) != 5 {
+		t.Errorf("Base=%d MaxSeq=%d", h.Base(0), h.MaxSeq(0))
+	}
+	// Cleaning backwards is a no-op.
+	if rel := h.CleanTo(mid.SeqVector{2, 0}); rel != 0 {
+		t.Errorf("backward clean released %d", rel)
+	}
+	// Cleaning beyond stored clips.
+	if rel := h.CleanTo(mid.SeqVector{99, 0}); rel != 2 {
+		t.Errorf("over-clean released %d, want 2", rel)
+	}
+	if h.Len() != 0 {
+		t.Errorf("Len = %d, want 0", h.Len())
+	}
+	// Storage continues after a full purge.
+	if err := h.Store(msg(0, 6)); err != nil {
+		t.Fatal(err)
+	}
+	if h.MaxSeq(0) != 6 {
+		t.Errorf("MaxSeq = %d", h.MaxSeq(0))
+	}
+}
+
+func TestCleanToShortVector(t *testing.T) {
+	h := New(3)
+	if err := h.Store(msg(2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Vector shorter than group: untouched entries stay.
+	if rel := h.CleanTo(mid.SeqVector{0}); rel != 0 {
+		t.Errorf("released %d", rel)
+	}
+	if h.Len() != 1 {
+		t.Errorf("Len = %d", h.Len())
+	}
+}
+
+func TestRange(t *testing.T) {
+	h := New(1)
+	for s := mid.Seq(1); s <= 6; s++ {
+		if err := h.Store(msg(0, s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.CleanTo(mid.SeqVector{2})
+	got := h.Range(0, 1, 4) // clipped to [3,4]
+	if len(got) != 2 || got[0].ID.Seq != 3 || got[1].ID.Seq != 4 {
+		t.Errorf("Range = %v", got)
+	}
+	if h.Range(0, 7, 9) != nil {
+		t.Error("Range beyond stored should be nil")
+	}
+	if h.Range(0, 4, 3) != nil {
+		t.Error("inverted Range should be nil")
+	}
+	if h.Range(5, 1, 2) != nil {
+		t.Error("Range of unknown proc should be nil")
+	}
+	full := h.Range(0, 3, 6)
+	if len(full) != 4 {
+		t.Errorf("full Range len = %d", len(full))
+	}
+}
+
+func TestStoredVector(t *testing.T) {
+	h := New(3)
+	for s := mid.Seq(1); s <= 3; s++ {
+		if err := h.Store(msg(1, s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.CleanTo(mid.SeqVector{0, 2, 0})
+	v := h.Stored()
+	if !v.Equal(mid.SeqVector{0, 3, 0}) {
+		t.Errorf("Stored = %v", v)
+	}
+	if h.PerSender()[1] != 1 {
+		t.Errorf("PerSender = %v", h.PerSender())
+	}
+}
+
+// Property: after any interleaving of stores and cleans, the retained range
+// per sender is exactly (base, maxseq], Len matches the sum of retained
+// counts, and Get answers exactly inside that range.
+func TestHistoryInvariantsUnderRandomOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(5)
+		h := New(n)
+		next := make([]mid.Seq, n)
+		for op := 0; op < 200; op++ {
+			if rng.Intn(3) != 0 { // store
+				q := rng.Intn(n)
+				next[q]++
+				if err := h.Store(msg(mid.ProcID(q), next[q])); err != nil {
+					t.Fatal(err)
+				}
+			} else { // clean to a random stable vector
+				stable := mid.NewSeqVector(n)
+				for q := 0; q < n; q++ {
+					if next[q] > 0 {
+						stable[q] = mid.Seq(rng.Intn(int(next[q]) + 1))
+					}
+				}
+				h.CleanTo(stable)
+			}
+			sum := 0
+			for q := 0; q < n; q++ {
+				p := mid.ProcID(q)
+				base, maxs := h.Base(p), h.MaxSeq(p)
+				if maxs != next[q] {
+					t.Fatalf("MaxSeq(%d) = %d, want %d", q, maxs, next[q])
+				}
+				if base > maxs {
+					t.Fatalf("base %d > maxseq %d", base, maxs)
+				}
+				sum += int(maxs - base)
+				if base >= 1 && h.Get(p, base) != nil {
+					t.Fatalf("purged message (%d,%d) still retrievable", q, base)
+				}
+				if maxs > base && h.Get(p, maxs) == nil {
+					t.Fatalf("retained message (%d,%d) missing", q, maxs)
+				}
+			}
+			if h.Len() != sum {
+				t.Fatalf("Len = %d, want %d", h.Len(), sum)
+			}
+		}
+	}
+}

@@ -1,0 +1,19 @@
+package mid_test
+
+import (
+	"fmt"
+
+	"urcgc/internal/mid"
+)
+
+// Canonical sorts a dependency list and keeps, per sequence, only the
+// deepest dependency (depending on p0#5 subsumes depending on p0#2).
+func ExampleDepList_Canonical() {
+	d := mid.DepList{
+		{Proc: 2, Seq: 3},
+		{Proc: 0, Seq: 2},
+		{Proc: 0, Seq: 5},
+	}
+	fmt.Println(d.Canonical())
+	// Output: [p0#5 p2#3]
+}

@@ -1,0 +1,121 @@
+package psync
+
+import (
+	"testing"
+
+	"urcgc/internal/causal"
+	"urcgc/internal/mid"
+	"urcgc/internal/wire"
+)
+
+type nullTransport struct{}
+
+func (nullTransport) Send(mid.ProcID, wire.PDU) {}
+func (nullTransport) Broadcast(wire.PDU)        {}
+
+type captureTp struct {
+	sends  []wire.PDU
+	bcasts []wire.PDU
+}
+
+func (c *captureTp) Send(_ mid.ProcID, pdu wire.PDU) { c.sends = append(c.sends, pdu) }
+func (c *captureTp) Broadcast(pdu wire.PDU)          { c.bcasts = append(c.bcasts, pdu) }
+
+func node(t *testing.T, id mid.ProcID, n int, tp Transport, cb Callbacks) *Process {
+	t.Helper()
+	p, err := NewProcess(id, Config{N: n, K: 2}, tp, cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func psMsg(p mid.ProcID, s mid.Seq, deps ...mid.MID) *causal.Message {
+	return &causal.Message{ID: mid.MID{Proc: p, Seq: s}, Deps: mid.DepList(deps), Payload: []byte("x")}
+}
+
+func TestAnswerNakFromStore(t *testing.T) {
+	tp := &captureTp{}
+	p := node(t, 0, 3, tp, Callbacks{})
+	p.Recv(1, &Data{Msg: *psMsg(1, 1)})
+	p.Recv(2, &Nak{Requester: 2, Wants: []mid.MID{{Proc: 1, Seq: 1}}})
+	if len(tp.sends) != 1 {
+		t.Fatalf("sends = %d", len(tp.sends))
+	}
+	rt, ok := tp.sends[0].(*Retrans)
+	if !ok || len(rt.Msgs) != 1 || rt.Msgs[0].ID != (mid.MID{Proc: 1, Seq: 1}) {
+		t.Errorf("retrans = %+v", tp.sends[0])
+	}
+	// A NAK for something we lack is silently unanswered.
+	p.Recv(2, &Nak{Requester: 2, Wants: []mid.MID{{Proc: 1, Seq: 9}}})
+	if len(tp.sends) != 1 {
+		t.Error("unanswerable NAK must stay silent")
+	}
+}
+
+func TestSuspendedQueuesData(t *testing.T) {
+	delivered := 0
+	p := node(t, 1, 3, nullTransport{}, Callbacks{OnDeliver: func(*causal.Message) { delivered++ }})
+	// A mask proposal from p0 suspends us.
+	p.Recv(0, &Mask{Initiator: 0, Epoch: 1, Dead: []bool{false, false, true}})
+	if !p.Suspended() {
+		t.Fatal("mask proposal should suspend")
+	}
+	p.Recv(0, &Data{Msg: *psMsg(0, 1)})
+	if delivered != 0 {
+		t.Error("suspended conversation must queue, not deliver")
+	}
+	// The commit installs the mask and releases the queue.
+	p.Recv(0, &Mask{Initiator: 0, Epoch: 1, Dead: []bool{false, false, true}, Commit: true, MaxAvail: mid.NewSeqVector(3)})
+	if p.Suspended() {
+		t.Fatal("commit should resume")
+	}
+	if delivered != 1 {
+		t.Errorf("delivered = %d after resume", delivered)
+	}
+	if p.Alive(2) {
+		t.Error("mask not applied")
+	}
+}
+
+func TestMaskCommitCondemnsOrphans(t *testing.T) {
+	var discarded []*causal.Message
+	p := node(t, 1, 3, nullTransport{}, Callbacks{OnDiscard: func(m *causal.Message) { discarded = append(discarded, m) }})
+	// p2's node 2 waits on p2's node 1, which nobody alive holds.
+	p.Recv(2, &Data{Msg: *psMsg(2, 2)})
+	if p.WaitingLen() != 1 {
+		t.Fatalf("waiting = %d", p.WaitingLen())
+	}
+	p.Recv(0, &Mask{
+		Initiator: 0, Epoch: 1, Dead: []bool{false, false, true},
+		Commit: true, MaxAvail: mid.SeqVector{0, 0, 0},
+	})
+	if len(discarded) != 1 {
+		t.Fatalf("discarded = %v", discarded)
+	}
+	if p.WaitingLen() != 0 {
+		t.Error("orphan still waiting")
+	}
+}
+
+func TestStaleMaskIgnored(t *testing.T) {
+	p := node(t, 1, 3, nullTransport{}, Callbacks{})
+	p.Recv(0, &Mask{Initiator: 0, Epoch: 2, Dead: []bool{false, false, true}, Commit: true, MaxAvail: mid.NewSeqVector(3)})
+	p.Recv(0, &Mask{Initiator: 0, Epoch: 1, Dead: []bool{false, true, false}, Commit: true, MaxAvail: mid.NewSeqVector(3)})
+	if !p.Alive(1) || p.Alive(2) {
+		t.Error("stale mask applied")
+	}
+}
+
+func TestLeavesLabelConcurrentSequences(t *testing.T) {
+	p := node(t, 0, 4, nullTransport{}, Callbacks{})
+	p.Recv(1, &Data{Msg: *psMsg(1, 1)})
+	p.Recv(2, &Data{Msg: *psMsg(2, 1)})
+	deps := p.leaves()
+	if !deps.Covers(mid.MID{Proc: 1, Seq: 1}) || !deps.Covers(mid.MID{Proc: 2, Seq: 1}) {
+		t.Errorf("leaves = %v", deps)
+	}
+	if deps.Covers(mid.MID{Proc: 3, Seq: 1}) {
+		t.Error("no node from p3 yet")
+	}
+}

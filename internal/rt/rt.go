@@ -1,0 +1,437 @@
+// Package rt runs the urcgc protocol in real time: one goroutine per group
+// member, channel-based datagram transport, and wall-clock rounds. It is
+// the non-simulated runtime behind the examples and the UDP node (the
+// paper's "prototype over an Ethernet LAN" — Section 7).
+//
+// Every PDU crossing a node boundary goes through the wire codec, so the
+// in-process mesh exercises exactly the bytes a real network would carry,
+// and a full inbox drops the datagram — an omission the protocol recovers
+// from by design.
+package rt
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"urcgc/internal/causal"
+	"urcgc/internal/core"
+	"urcgc/internal/mid"
+	"urcgc/internal/wire"
+)
+
+// Config configures a live cluster.
+type Config struct {
+	core.Config
+	// RoundDuration is the wall-clock length of one protocol round. It
+	// must comfortably exceed the in-process delivery time; the default
+	// of 2ms is generous.
+	RoundDuration time.Duration
+	// InboxDepth bounds each node's datagram queue; overflow drops, like
+	// any datagram network. Default 4096.
+	InboxDepth int
+	// IndicationDepth bounds each session's indication queue. Default 4096.
+	IndicationDepth int
+}
+
+func (c *Config) fill() {
+	if c.RoundDuration == 0 {
+		c.RoundDuration = 2 * time.Millisecond
+	}
+	if c.InboxDepth == 0 {
+		c.InboxDepth = 4096
+	}
+	if c.IndicationDepth == 0 {
+		c.IndicationDepth = 4096
+	}
+}
+
+// Indication is the urcgc-data.Ind primitive: a message processed at this
+// member, delivered in causal order.
+type Indication struct {
+	Msg causal.Message
+}
+
+// Cluster is an in-process group of live nodes.
+type Cluster struct {
+	cfg   Config
+	nodes []*Node
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	wg       sync.WaitGroup
+}
+
+// NewCluster builds (but does not start) a live group.
+func NewCluster(cfg Config) (*Cluster, error) {
+	cfg.fill()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Cluster{cfg: cfg, stopCh: make(chan struct{})}
+	c.nodes = make([]*Node, cfg.N)
+	for i := range c.nodes {
+		c.nodes[i] = newNode(c, mid.ProcID(i))
+	}
+	for i := range c.nodes {
+		if err := c.nodes[i].init(); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// Start launches every node goroutine and the round clock.
+func (c *Cluster) Start() {
+	for _, n := range c.nodes {
+		n := n
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			n.loop()
+		}()
+	}
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		c.clock()
+	}()
+}
+
+// Stop halts the cluster and waits for every goroutine to exit.
+func (c *Cluster) Stop() {
+	c.stopOnce.Do(func() { close(c.stopCh) })
+	c.wg.Wait()
+}
+
+// Node returns member i.
+func (c *Cluster) Node(i mid.ProcID) *Node { return c.nodes[i] }
+
+// N returns the group cardinality.
+func (c *Cluster) N() int { return c.cfg.N }
+
+// clock drives rounds in lockstep: every node finishes round r before any
+// node starts round r+1, and at least RoundDuration elapses per round. The
+// barrier removes scheduler-starvation artifacts (a node ticking late looks
+// like an omission-faulty process and would eventually be excluded); the
+// UDP runtime, whose members run on separate machines, uses free-running
+// clocks instead and relies on the protocol's omission recovery.
+func (c *Cluster) clock() {
+	round := 0
+	for {
+		start := time.Now()
+		r := round
+		round++
+		dones := make([]chan struct{}, len(c.nodes))
+		for i, n := range c.nodes {
+			n := n
+			done := make(chan struct{})
+			dones[i] = done
+			select {
+			case n.inbox <- func() {
+				if !n.Killed() {
+					n.proc.StartRound(r)
+				}
+				close(done)
+			}:
+			case <-c.stopCh:
+				return
+			}
+		}
+		for _, done := range dones {
+			select {
+			case <-done:
+			case <-c.stopCh:
+				return
+			}
+		}
+		if rest := c.cfg.RoundDuration - time.Since(start); rest > 0 {
+			select {
+			case <-time.After(rest):
+			case <-c.stopCh:
+				return
+			}
+		}
+	}
+}
+
+// Node is one live group member: a core.Process owned by a single
+// goroutine, fed ticks, datagrams and user commands through its inbox.
+type Node struct {
+	c    *Cluster
+	id   mid.ProcID
+	proc *core.Process
+
+	inbox chan func()
+	ind   chan Indication
+
+	mu       sync.Mutex
+	waiters  map[mid.MID]chan struct{}
+	leftWith *core.LeaveReason
+	killed   bool
+	dropped  int
+}
+
+func newNode(c *Cluster, id mid.ProcID) *Node {
+	return &Node{
+		c:       c,
+		id:      id,
+		inbox:   make(chan func(), c.cfg.InboxDepth),
+		ind:     make(chan Indication, c.cfg.IndicationDepth),
+		waiters: make(map[mid.MID]chan struct{}),
+	}
+}
+
+func (n *Node) init() error {
+	cb := core.Callbacks{
+		OnProcess: func(m *causal.Message) {
+			n.mu.Lock()
+			if ch, ok := n.waiters[m.ID]; ok {
+				close(ch)
+				delete(n.waiters, m.ID)
+			}
+			n.mu.Unlock()
+			select {
+			case n.ind <- Indication{Msg: *m}:
+			default: // slow consumer: indication dropped, like a full SAP queue
+			}
+		},
+		OnLeave: func(r core.LeaveReason) {
+			n.mu.Lock()
+			n.leftWith = &r
+			for _, ch := range n.waiters {
+				close(ch)
+			}
+			n.waiters = map[mid.MID]chan struct{}{}
+			n.mu.Unlock()
+		},
+	}
+	p, err := core.NewProcess(n.id, n.c.cfg.Config, meshTransport{n: n}, cb)
+	if err != nil {
+		return err
+	}
+	n.proc = p
+	return nil
+}
+
+// enqueue hands a closure to the node goroutine; a full inbox drops it
+// (datagram semantics). It reports whether the closure was accepted.
+func (n *Node) enqueue(fn func()) bool {
+	select {
+	case n.inbox <- fn:
+		return true
+	default:
+		n.mu.Lock()
+		n.dropped++
+		n.mu.Unlock()
+		return false
+	}
+}
+
+// enqueueWait hands a closure to the node goroutine, blocking while the
+// inbox is full — user commands are not datagrams and must not be lost.
+func (n *Node) enqueueWait(ctx context.Context, fn func()) error {
+	select {
+	case n.inbox <- fn:
+		return nil
+	case <-n.c.stopCh:
+		return fmt.Errorf("rt: cluster stopped")
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (n *Node) loop() {
+	for {
+		select {
+		case <-n.c.stopCh:
+			return
+		case fn := <-n.inbox:
+			fn()
+		}
+	}
+}
+
+// Kill fail-stops the node: from now on it neither ticks nor receives,
+// exactly like a crashed site. The rest of the group will detect the
+// silence and exclude it. Used by the fault-injection examples and tests.
+func (n *Node) Kill() {
+	n.mu.Lock()
+	n.killed = true
+	n.mu.Unlock()
+}
+
+// Killed reports whether the node was fail-stopped.
+func (n *Node) Killed() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.killed
+}
+
+// ID returns the member identifier.
+func (n *Node) ID() mid.ProcID { return n.id }
+
+// Indications returns the urcgc-data.Ind stream: every message processed at
+// this member, in causal order.
+func (n *Node) Indications() <-chan Indication { return n.ind }
+
+// Left returns the reason this member halted, if it has.
+func (n *Node) Left() (core.LeaveReason, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.leftWith == nil {
+		return 0, false
+	}
+	return *n.leftWith, true
+}
+
+// Send implements the urcgc-data.Rq/Conf primitive pair: it submits the
+// payload with the given explicit cross-sequence dependencies and blocks
+// until the message has been processed locally (the Confirm), or the
+// context ends.
+func (n *Node) Send(ctx context.Context, payload []byte, deps mid.DepList) (mid.MID, error) {
+	type result struct {
+		id  mid.MID
+		err error
+	}
+	resCh := make(chan result, 1)
+	confirm := make(chan struct{})
+	if err := n.enqueueWait(ctx, func() {
+		if n.Killed() {
+			resCh <- result{err: fmt.Errorf("rt: member %d is fail-stopped", n.id)}
+			return
+		}
+		id, err := n.proc.Submit(payload, deps)
+		if err == nil {
+			n.mu.Lock()
+			n.waiters[id] = confirm
+			n.mu.Unlock()
+		}
+		resCh <- result{id, err}
+	}); err != nil {
+		return mid.MID{}, err
+	}
+	var r result
+	select {
+	case r = <-resCh:
+	case <-n.c.stopCh:
+		return mid.MID{}, fmt.Errorf("rt: cluster stopped")
+	case <-ctx.Done():
+		return mid.MID{}, ctx.Err()
+	}
+	if r.err != nil {
+		return mid.MID{}, r.err
+	}
+	select {
+	case <-confirm:
+	case <-n.c.stopCh:
+		return r.id, fmt.Errorf("rt: cluster stopped")
+	case <-ctx.Done():
+		return r.id, ctx.Err()
+	}
+	if _, left := n.Left(); left {
+		return r.id, fmt.Errorf("rt: member %d left the group", n.id)
+	}
+	return r.id, nil
+}
+
+// SendCausal is Send with the conservative depend-on-everything-seen
+// labelling computed inside the node goroutine.
+func (n *Node) SendCausal(ctx context.Context, payload []byte) (mid.MID, error) {
+	type result struct {
+		id  mid.MID
+		err error
+	}
+	resCh := make(chan result, 1)
+	confirm := make(chan struct{})
+	if err := n.enqueueWait(ctx, func() {
+		if n.Killed() {
+			resCh <- result{err: fmt.Errorf("rt: member %d is fail-stopped", n.id)}
+			return
+		}
+		id, err := n.proc.SubmitCausal(payload)
+		if err == nil {
+			n.mu.Lock()
+			n.waiters[id] = confirm
+			n.mu.Unlock()
+		}
+		resCh <- result{id, err}
+	}); err != nil {
+		return mid.MID{}, err
+	}
+	var r result
+	select {
+	case r = <-resCh:
+	case <-n.c.stopCh:
+		return mid.MID{}, fmt.Errorf("rt: cluster stopped")
+	case <-ctx.Done():
+		return mid.MID{}, ctx.Err()
+	}
+	if r.err != nil {
+		return mid.MID{}, r.err
+	}
+	select {
+	case <-confirm:
+	case <-n.c.stopCh:
+		return r.id, fmt.Errorf("rt: cluster stopped")
+	case <-ctx.Done():
+		return r.id, ctx.Err()
+	}
+	return r.id, nil
+}
+
+// Snapshot runs fn inside the node goroutine with safe access to the
+// protocol entity, and waits for it. Use it for reads (views, vectors).
+func (n *Node) Snapshot(ctx context.Context, fn func(p *core.Process)) error {
+	done := make(chan struct{})
+	if err := n.enqueueWait(ctx, func() {
+		fn(n.proc)
+		close(done)
+	}); err != nil {
+		return err
+	}
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// meshTransport carries PDUs between in-process nodes through the wire
+// codec, byte-for-byte as a real datagram network would.
+type meshTransport struct {
+	n *Node
+}
+
+func (t meshTransport) Send(dst mid.ProcID, pdu wire.PDU) {
+	if dst == t.n.id || dst < 0 || int(dst) >= t.n.c.N() {
+		return
+	}
+	buf, err := wire.Marshal(pdu)
+	if err != nil {
+		return // unencodable PDUs never leave the node
+	}
+	src := t.n.id
+	target := t.n.c.nodes[dst]
+	if t.n.Killed() {
+		return // a crashed site emits nothing
+	}
+	target.enqueue(func() {
+		if target.Killed() {
+			return // a crashed site absorbs nothing
+		}
+		decoded, err := wire.Unmarshal(buf)
+		if err != nil {
+			return
+		}
+		target.proc.Recv(src, decoded)
+	})
+}
+
+func (t meshTransport) Broadcast(pdu wire.PDU) {
+	for i := 0; i < t.n.c.N(); i++ {
+		t.Send(mid.ProcID(i), pdu)
+	}
+}

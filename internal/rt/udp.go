@@ -1,0 +1,315 @@
+package rt
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"urcgc/internal/causal"
+	"urcgc/internal/core"
+	"urcgc/internal/mid"
+	"urcgc/internal/wire"
+)
+
+// UDPConfig configures a group member running over real UDP sockets — the
+// deployment the paper's concluding remarks describe as the prototype over
+// an Ethernet LAN. Rounds are driven by each member's local clock; drift
+// and reordering surface as omissions, which the protocol repairs from
+// history, so no clock synchronization service is required.
+type UDPConfig struct {
+	core.Config
+	// Self is this member's identity; Peers[Self] must be our bind address.
+	Self mid.ProcID
+	// Peers maps every ProcID to its UDP address, e.g. "10.0.0.7:7701".
+	Peers []string
+	// RoundDuration is the wall-clock round length. It must comfortably
+	// exceed the LAN round-trip time; default 20ms.
+	RoundDuration time.Duration
+	// InboxDepth bounds the datagram queue (default 4096).
+	InboxDepth int
+	// IndicationDepth bounds the indication queue (default 4096).
+	IndicationDepth int
+}
+
+func (c *UDPConfig) fill() {
+	if c.RoundDuration == 0 {
+		c.RoundDuration = 20 * time.Millisecond
+	}
+	if c.InboxDepth == 0 {
+		c.InboxDepth = 4096
+	}
+	if c.IndicationDepth == 0 {
+		c.IndicationDepth = 4096
+	}
+}
+
+// UDPNode is one live group member on a real network.
+type UDPNode struct {
+	cfg   UDPConfig
+	proc  *core.Process
+	conn  *net.UDPConn
+	peers []*net.UDPAddr
+
+	inbox chan func()
+	ind   chan Indication
+
+	mu       sync.Mutex
+	waiters  map[mid.MID]chan struct{}
+	leftWith *core.LeaveReason
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	wg       sync.WaitGroup
+}
+
+// maxDatagram bounds received datagrams. The urcgc PDUs for paper-scale
+// groups fit comfortably; jumbo decisions for very large n would need
+// fragmentation, which the paper delegates to the transport layer.
+const maxDatagram = 64 * 1024
+
+// NewUDPNode binds the member's socket and prepares the protocol entity.
+func NewUDPNode(cfg UDPConfig) (*UDPNode, error) {
+	cfg.fill()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(cfg.Peers) != cfg.N {
+		return nil, fmt.Errorf("rt: %d peers for group of %d", len(cfg.Peers), cfg.N)
+	}
+	if cfg.Self < 0 || int(cfg.Self) >= cfg.N {
+		return nil, fmt.Errorf("rt: self %d outside group", cfg.Self)
+	}
+	n := &UDPNode{
+		cfg:     cfg,
+		inbox:   make(chan func(), cfg.InboxDepth),
+		ind:     make(chan Indication, cfg.IndicationDepth),
+		waiters: make(map[mid.MID]chan struct{}),
+		stopCh:  make(chan struct{}),
+		peers:   make([]*net.UDPAddr, cfg.N),
+	}
+	for i, p := range cfg.Peers {
+		addr, err := net.ResolveUDPAddr("udp", p)
+		if err != nil {
+			return nil, fmt.Errorf("rt: peer %d %q: %w", i, p, err)
+		}
+		n.peers[i] = addr
+	}
+	conn, err := net.ListenUDP("udp", n.peers[cfg.Self])
+	if err != nil {
+		return nil, fmt.Errorf("rt: bind %q: %w", cfg.Peers[cfg.Self], err)
+	}
+	n.conn = conn
+	cb := core.Callbacks{
+		OnProcess: func(m *causal.Message) {
+			n.mu.Lock()
+			if ch, ok := n.waiters[m.ID]; ok {
+				close(ch)
+				delete(n.waiters, m.ID)
+			}
+			n.mu.Unlock()
+			select {
+			case n.ind <- Indication{Msg: *m}:
+			default:
+			}
+		},
+		OnLeave: func(r core.LeaveReason) {
+			n.mu.Lock()
+			n.leftWith = &r
+			for _, ch := range n.waiters {
+				close(ch)
+			}
+			n.waiters = map[mid.MID]chan struct{}{}
+			n.mu.Unlock()
+		},
+	}
+	proc, err := core.NewProcess(cfg.Self, cfg.Config, udpTransport{n: n}, cb)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	n.proc = proc
+	return n, nil
+}
+
+// LocalAddr returns the bound UDP address (useful with port 0 in tests).
+func (n *UDPNode) LocalAddr() *net.UDPAddr { return n.conn.LocalAddr().(*net.UDPAddr) }
+
+// Start launches the reader, the round clock and the protocol loop.
+func (n *UDPNode) Start() {
+	n.wg.Add(3)
+	go func() { defer n.wg.Done(); n.reader() }()
+	go func() { defer n.wg.Done(); n.clock() }()
+	go func() { defer n.wg.Done(); n.loop() }()
+}
+
+// Stop halts the member and closes its socket.
+func (n *UDPNode) Stop() {
+	n.stopOnce.Do(func() {
+		close(n.stopCh)
+		n.conn.Close()
+	})
+	n.wg.Wait()
+}
+
+// Indications returns the urcgc-data.Ind stream.
+func (n *UDPNode) Indications() <-chan Indication { return n.ind }
+
+// Left reports whether and why the member halted itself.
+func (n *UDPNode) Left() (core.LeaveReason, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.leftWith == nil {
+		return 0, false
+	}
+	return *n.leftWith, true
+}
+
+// Send is the urcgc-data.Rq/Conf pair over UDP.
+func (n *UDPNode) Send(ctx context.Context, payload []byte, deps mid.DepList) (mid.MID, error) {
+	type result struct {
+		id  mid.MID
+		err error
+	}
+	resCh := make(chan result, 1)
+	confirm := make(chan struct{})
+	select {
+	case n.inbox <- func() {
+		id, err := n.proc.Submit(payload, deps)
+		if err == nil {
+			n.mu.Lock()
+			n.waiters[id] = confirm
+			n.mu.Unlock()
+		}
+		resCh <- result{id, err}
+	}:
+	case <-n.stopCh:
+		return mid.MID{}, fmt.Errorf("rt: node stopped")
+	case <-ctx.Done():
+		return mid.MID{}, ctx.Err()
+	}
+	var r result
+	select {
+	case r = <-resCh:
+	case <-n.stopCh:
+		return mid.MID{}, fmt.Errorf("rt: node stopped")
+	case <-ctx.Done():
+		return mid.MID{}, ctx.Err()
+	}
+	if r.err != nil {
+		return mid.MID{}, r.err
+	}
+	select {
+	case <-confirm:
+	case <-n.stopCh:
+		return r.id, fmt.Errorf("rt: node stopped")
+	case <-ctx.Done():
+		return r.id, ctx.Err()
+	}
+	return r.id, nil
+}
+
+// Snapshot runs fn with safe access to the protocol entity.
+func (n *UDPNode) Snapshot(ctx context.Context, fn func(p *core.Process)) error {
+	done := make(chan struct{})
+	select {
+	case n.inbox <- func() { fn(n.proc); close(done) }:
+	case <-n.stopCh:
+		return fmt.Errorf("rt: node stopped")
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	select {
+	case <-done:
+		return nil
+	case <-n.stopCh:
+		return fmt.Errorf("rt: node stopped")
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (n *UDPNode) loop() {
+	for {
+		select {
+		case <-n.stopCh:
+			return
+		case fn := <-n.inbox:
+			fn()
+		}
+	}
+}
+
+func (n *UDPNode) clock() {
+	t := time.NewTicker(n.cfg.RoundDuration)
+	defer t.Stop()
+	round := 0
+	for {
+		select {
+		case <-n.stopCh:
+			return
+		case <-t.C:
+			r := round
+			round++
+			select {
+			case n.inbox <- func() { n.proc.StartRound(r) }:
+			default: // overloaded: skipping a tick is an omission
+			}
+		}
+	}
+}
+
+func (n *UDPNode) reader() {
+	buf := make([]byte, maxDatagram)
+	for {
+		sz, _, err := n.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-n.stopCh:
+				return
+			default:
+				continue // transient read error: a datagram lost
+			}
+		}
+		if sz < 4 {
+			continue
+		}
+		src := mid.ProcID(int32(binary.BigEndian.Uint32(buf[:4])))
+		if src < 0 || int(src) >= n.cfg.N {
+			continue
+		}
+		pdu, err := wire.Unmarshal(append([]byte(nil), buf[4:sz]...))
+		if err != nil {
+			continue // malformed datagram: dropped
+		}
+		select {
+		case n.inbox <- func() { n.proc.Recv(src, pdu) }:
+		default: // inbox full: dropped, like any datagram
+		}
+	}
+}
+
+// udpTransport sends PDUs as [src:4][marshaled PDU] datagrams.
+type udpTransport struct{ n *UDPNode }
+
+func (t udpTransport) Send(dst mid.ProcID, pdu wire.PDU) {
+	if dst == t.n.cfg.Self || dst < 0 || int(dst) >= t.n.cfg.N {
+		return
+	}
+	body, err := wire.Marshal(pdu)
+	if err != nil {
+		return
+	}
+	buf := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(buf[:4], uint32(t.n.cfg.Self))
+	copy(buf[4:], body)
+	_, _ = t.n.conn.WriteToUDP(buf, t.n.peers[dst]) // loss is an omission
+}
+
+func (t udpTransport) Broadcast(pdu wire.PDU) {
+	for i := 0; i < t.n.cfg.N; i++ {
+		t.Send(mid.ProcID(i), pdu)
+	}
+}

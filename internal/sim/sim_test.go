@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestTimeConversions(t *testing.T) {
+	if RoundOf(0) != 0 || RoundOf(TicksPerRound-1) != 0 || RoundOf(TicksPerRound) != 1 {
+		t.Error("RoundOf boundaries wrong")
+	}
+	if SubrunOf(TicksPerSubrun) != 1 || SubrunOf(TicksPerSubrun-1) != 0 {
+		t.Error("SubrunOf boundaries wrong")
+	}
+	if StartOfRound(3) != 3*TicksPerRound {
+		t.Error("StartOfRound wrong")
+	}
+	if StartOfSubrun(2) != 2*TicksPerSubrun {
+		t.Error("StartOfSubrun wrong")
+	}
+	if got := (2 * TicksPerRTD).RTD(); got != 2.0 {
+		t.Errorf("RTD = %v", got)
+	}
+}
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	e.At(30, func() { order = append(order, 3) })
+	e.At(10, func() { order = append(order, 1) })
+	e.At(20, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if e.Now() != 30 {
+		t.Errorf("Now = %d", e.Now())
+	}
+	if e.Processed() != 3 {
+		t.Errorf("Processed = %d", e.Processed())
+	}
+}
+
+func TestSameTickFIFO(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-tick events reordered: %v", order)
+		}
+	}
+}
+
+func TestSchedulingFromWithinEvents(t *testing.T) {
+	e := NewEngine(1)
+	var hits []Time
+	e.At(10, func() {
+		hits = append(hits, e.Now())
+		e.After(5, func() { hits = append(hits, e.Now()) })
+	})
+	e.Run()
+	if len(hits) != 2 || hits[0] != 10 || hits[1] != 15 {
+		t.Errorf("hits = %v", hits)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past should panic")
+			}
+		}()
+		e.At(5, func() {})
+	})
+	e.Run()
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine(1)
+	ran := 0
+	e.At(10, func() { ran++ })
+	e.At(20, func() { ran++ })
+	e.At(30, func() { ran++ })
+	e.RunUntil(20)
+	if ran != 2 {
+		t.Errorf("ran = %d, want 2", ran)
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending = %d", e.Pending())
+	}
+	e.RunUntil(100)
+	if ran != 3 || e.Now() != 100 {
+		t.Errorf("ran=%d Now=%d", ran, e.Now())
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	trace := func(seed int64) []int {
+		e := NewEngine(seed)
+		var out []int
+		for i := 0; i < 50; i++ {
+			d := Time(e.RNG().Intn(100))
+			v := i
+			e.At(d, func() { out = append(out, v) })
+		}
+		e.Run()
+		return out
+	}
+	a, b := trace(42), trace(42)
+	if len(a) != len(b) {
+		t.Fatal("different lengths")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTickerRounds(t *testing.T) {
+	e := NewEngine(1)
+	var rounds []int
+	var times []Time
+	NewTicker(e, func(r int) bool {
+		rounds = append(rounds, r)
+		times = append(times, e.Now())
+		return r < 4
+	})
+	e.Run()
+	if len(rounds) != 5 {
+		t.Fatalf("rounds = %v", rounds)
+	}
+	for i, r := range rounds {
+		if r != i {
+			t.Errorf("round %d reported as %d", i, r)
+		}
+		if times[i] != StartOfRound(i) {
+			t.Errorf("round %d fired at %d", i, times[i])
+		}
+	}
+}

@@ -1,0 +1,349 @@
+// Package total implements the urgc service the paper builds on (its
+// [APR93] reference, Sections 1-2): Uniform Reliable Group Communication
+// with TOTAL ordering, where the service provider — not the application —
+// autonomously assigns the processing order (the ABCAST-style service for
+// replicated data objects).
+//
+// The construction is the classic "causal + sequencer = total", riding
+// entirely on urcgc's guarantees:
+//
+//   - Data messages are ordinary urcgc messages with no causal labels.
+//   - The sequencer — the lowest-ranked live member — periodically emits
+//     ORDER messages through its own urcgc sequence, each naming the next
+//     batch of data messages in the total order and causally depending on
+//     them, so no member can process an ORDER before the data it commits.
+//   - Every member applies ORDER batches in the causal order of the
+//     sequencer's sequence, which urcgc already makes identical everywhere.
+//
+// Sequencer failover is where uniform atomicity earns its keep. Successive
+// sequencers have strictly increasing ranks (the group only shrinks), and a
+// member defers applying batches from sequencer Z until, for every former
+// sequencer Y < Z, a full-group decision has both excluded Y and shown the
+// member has processed every message of Y's sequence that any live member
+// holds (lastProcessed[Y] >= MaxProcessed[Y]). Past that point no further
+// ORDER of Y's can ever be processed by anyone — stragglers were either
+// processed before it (and hence applied first) or condemned by the orphan
+// agreement (and hence processed by nobody) — so the arbitration
+// "lower-ranked sequencer's batches first, then mine" is identical at every
+// member, and the total order is consistent across the group.
+package total
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"urcgc/internal/core"
+	"urcgc/internal/fault"
+	"urcgc/internal/metrics"
+	"urcgc/internal/mid"
+	"urcgc/internal/wire"
+)
+
+// payload markers.
+const (
+	markData  = 'D'
+	markOrder = 'O'
+)
+
+// Config configures a totally-ordered group.
+type Config struct {
+	N, K, R  int
+	Seed     int64
+	Injector fault.Injector
+}
+
+// Cluster runs a totally-ordered group on a simulated urcgc group.
+type Cluster struct {
+	C *core.Cluster
+
+	// Delay measures generation -> total-order application.
+	Delay *metrics.Delay
+	// OrderedLog is the per-member total-order application log.
+	OrderedLog [][]mid.MID
+
+	members []*member
+}
+
+// member is the per-member total-ordering state.
+type member struct {
+	id mid.ProcID
+
+	// sequencer-side: data messages processed but not yet named by any
+	// processed ORDER (in causal processing order, which seeds the batch).
+	unordered []mid.MID
+	named     map[mid.MID]bool // messages named by any processed ORDER
+
+	// application-side: batches processed but deferred pending failover
+	// arbitration, keyed by the sequencer that emitted them.
+	deferred [][]mid.MID // deferred[z] = concatenated batches from sequencer z
+	applied  map[mid.MID]bool
+
+	// failover arbitration: resolved[y] means no further ORDER from y can
+	// ever be processed here.
+	resolved []bool
+}
+
+// NewCluster builds the group.
+func NewCluster(cfg Config) (*Cluster, error) {
+	inner, err := core.NewCluster(core.ClusterConfig{
+		Config:   core.Config{N: cfg.N, K: cfg.K, R: cfg.R, SelfExclusion: true},
+		Seed:     cfg.Seed,
+		Injector: cfg.Injector,
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := &Cluster{
+		C:          inner,
+		Delay:      metrics.NewDelay(),
+		OrderedLog: make([][]mid.MID, cfg.N),
+		members:    make([]*member, cfg.N),
+	}
+	for i := range t.members {
+		t.members[i] = &member{
+			id:       mid.ProcID(i),
+			named:    map[mid.MID]bool{},
+			applied:  map[mid.MID]bool{},
+			deferred: make([][]mid.MID, cfg.N),
+			resolved: make([]bool, cfg.N),
+		}
+	}
+	inner.OnDecision = t.onDecision
+	return t, nil
+}
+
+// Submit queues a payload for totally-ordered delivery via member p.
+func (t *Cluster) Submit(p mid.ProcID, payload []byte) (mid.MID, error) {
+	buf := append([]byte{markData}, payload...)
+	id, err := t.C.Submit(p, buf, nil)
+	if err != nil {
+		return id, err
+	}
+	t.Delay.Generated(id, t.C.Engine().Now())
+	return id, nil
+}
+
+// OnRound drives the wrapper; compose it into core.RunOptions.OnRound. It
+// consumes the cluster's ProcessedLog growth (the causal layer's output) and
+// lets the current sequencer emit ORDER batches.
+func (t *Cluster) OnRound(inner func(int)) func(int) {
+	consumed := make([]int, t.C.N())
+	return func(round int) {
+		if inner != nil {
+			inner(round)
+		}
+		for i, m := range t.members {
+			log := t.C.ProcessedLog[i]
+			for ; consumed[i] < len(log); consumed[i]++ {
+				t.consume(m, log[consumed[i]])
+			}
+		}
+		// Sequencer action once per subrun, before the request round.
+		if round%2 != 0 {
+			return
+		}
+		for i, m := range t.members {
+			p := mid.ProcID(i)
+			if !t.C.Active(p) || !t.isSequencer(p) {
+				continue
+			}
+			t.emitBatch(m)
+		}
+	}
+}
+
+// isSequencer reports whether p is the lowest-ranked live member of ITS OWN
+// view (views converge through decisions, so so do sequencers).
+func (t *Cluster) isSequencer(p mid.ProcID) bool {
+	v := t.C.Proc(p).View()
+	for q := 0; q < v.N(); q++ {
+		if v.Alive(mid.ProcID(q)) {
+			return mid.ProcID(q) == p
+		}
+	}
+	return false
+}
+
+// emitBatch submits one ORDER message naming the sequencer's unordered
+// backlog, causally depending on the newest named message per sequence.
+func (t *Cluster) emitBatch(m *member) {
+	if len(m.unordered) == 0 {
+		return
+	}
+	batch := m.unordered
+	m.unordered = nil
+	var deps mid.DepList
+	for _, id := range batch {
+		if id.Proc != m.id {
+			deps = append(deps, id)
+		}
+	}
+	payload := encodeBatch(batch)
+	if _, err := t.C.Submit(m.id, payload, deps.Canonical()); err != nil {
+		// The member left between the check and the submit; drop the batch
+		// (a successor will re-sequence the unnamed messages).
+		return
+	}
+}
+
+// consume routes one causally processed message.
+func (t *Cluster) consume(m *member, id mid.MID) {
+	msg := t.C.Proc(m.id).History().Get(id.Proc, id.Seq)
+	if msg == nil {
+		return // already purged; only possible long after application
+	}
+	if len(msg.Payload) == 0 {
+		return
+	}
+	switch msg.Payload[0] {
+	case markData:
+		if !m.named[id] {
+			m.unordered = append(m.unordered, id)
+		}
+	case markOrder:
+		batch, err := decodeBatch(msg.Payload)
+		if err != nil {
+			return
+		}
+		for _, named := range batch {
+			m.named[named] = true
+		}
+		m.unordered = filterNamed(m.unordered, m.named)
+		z := id.Proc
+		m.deferred[z] = append(m.deferred[z], batch...)
+		t.drain(m)
+	}
+}
+
+// filterNamed removes already-named messages from the backlog, preserving
+// order.
+func filterNamed(backlog []mid.MID, named map[mid.MID]bool) []mid.MID {
+	out := backlog[:0]
+	for _, id := range backlog {
+		if !named[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// drain applies deferred batches in sequencer-rank order, up to the first
+// unresolved former sequencer.
+func (t *Cluster) drain(m *member) {
+	for z := 0; z < t.C.N(); z++ {
+		if len(m.deferred[z]) > 0 {
+			if !t.clearBelow(m, mid.ProcID(z)) {
+				return // a lower-ranked sequencer may still emit; wait
+			}
+			for _, id := range m.deferred[z] {
+				if m.applied[id] {
+					continue
+				}
+				m.applied[id] = true
+				t.OrderedLog[m.id] = append(t.OrderedLog[m.id], id)
+				t.Delay.Processed(id, t.C.Engine().Now())
+			}
+			m.deferred[z] = nil
+		}
+	}
+}
+
+// clearBelow reports whether every member ranked below z is resolved: dead
+// in this member's view with nothing of its sequence left to arrive.
+func (t *Cluster) clearBelow(m *member, z mid.ProcID) bool {
+	for y := mid.ProcID(0); y < z; y++ {
+		if !m.resolved[y] {
+			return false
+		}
+	}
+	return true
+}
+
+// onDecision updates failover resolution: former sequencer y is resolved at
+// member p once a full-group decision excludes y and p has processed every
+// message of y's sequence any live member holds.
+func (t *Cluster) onDecision(p mid.ProcID, d *wire.Decision) {
+	m := t.members[p]
+	if !d.FullGroup {
+		return
+	}
+	done := t.C.Proc(p).Processed()
+	changed := false
+	for y := 0; y < t.C.N() && y < len(d.Alive); y++ {
+		if m.resolved[y] || d.Alive[y] {
+			continue
+		}
+		if done[y] >= d.MaxProcessed[y] {
+			m.resolved[y] = true
+			changed = true
+		}
+	}
+	if changed {
+		t.drain(m)
+	}
+}
+
+// Run drives the group; compose workload through OnRound.
+func (t *Cluster) Run(opts core.RunOptions) (core.RunResult, error) {
+	opts.OnRound = t.OnRound(opts.OnRound)
+	return t.C.Run(opts)
+}
+
+// VerifyTotalOrder checks the ABCAST property: active members' ordered logs
+// agree on their common prefix.
+func (t *Cluster) VerifyTotalOrder() error {
+	var ref []mid.MID
+	refOwner := mid.ProcID(-1)
+	for i := range t.OrderedLog {
+		p := mid.ProcID(i)
+		if !t.C.Active(p) {
+			continue
+		}
+		log := t.OrderedLog[i]
+		if ref == nil {
+			ref, refOwner = log, p
+			continue
+		}
+		n := len(ref)
+		if len(log) < n {
+			n = len(log)
+		}
+		for j := 0; j < n; j++ {
+			if ref[j] != log[j] {
+				return fmt.Errorf("total: members %d and %d disagree at position %d: %v vs %v",
+					refOwner, p, j, ref[j], log[j])
+			}
+		}
+	}
+	return nil
+}
+
+// encodeBatch packs an ORDER payload: marker + count(2) + (proc(4),seq(4))*.
+func encodeBatch(batch []mid.MID) []byte {
+	buf := make([]byte, 3+8*len(batch))
+	buf[0] = markOrder
+	binary.BigEndian.PutUint16(buf[1:3], uint16(len(batch)))
+	for i, id := range batch {
+		binary.BigEndian.PutUint32(buf[3+8*i:], uint32(id.Proc))
+		binary.BigEndian.PutUint32(buf[7+8*i:], uint32(id.Seq))
+	}
+	return buf
+}
+
+func decodeBatch(buf []byte) ([]mid.MID, error) {
+	if len(buf) < 3 || buf[0] != markOrder {
+		return nil, fmt.Errorf("total: not an ORDER payload")
+	}
+	n := int(binary.BigEndian.Uint16(buf[1:3]))
+	if len(buf) != 3+8*n {
+		return nil, fmt.Errorf("total: ORDER payload length %d for %d entries", len(buf), n)
+	}
+	out := make([]mid.MID, n)
+	for i := range out {
+		out[i] = mid.MID{
+			Proc: mid.ProcID(int32(binary.BigEndian.Uint32(buf[3+8*i:]))),
+			Seq:  mid.Seq(binary.BigEndian.Uint32(buf[7+8*i:])),
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,251 @@
+// Package trace records protocol events as structured logs and verifies
+// the URCGC correctness clauses offline, from the logs alone.
+//
+// The verifier is deliberately independent of the protocol implementation:
+// it reconstructs the causal relation from the messages' own dependency
+// labels and checks Definition 3.2 against what each process actually did.
+// Tests attach a Recorder to a simulated cluster and then run Verify; a bug
+// anywhere in the pipeline (protocol, network, harness) surfaces as a
+// violated clause.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"urcgc/internal/mid"
+	"urcgc/internal/sim"
+)
+
+// Kind labels an event.
+type Kind uint8
+
+// Event kinds.
+const (
+	EvGenerate Kind = iota + 1 // a user message entered the system at Proc
+	EvProcess                  // Proc processed Msg
+	EvDiscard                  // Proc destroyed Msg by agreement
+	EvCrash                    // Proc fail-stopped (injected)
+	EvLeave                    // Proc self-excluded
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case EvGenerate:
+		return "generate"
+	case EvProcess:
+		return "process"
+	case EvDiscard:
+		return "discard"
+	case EvCrash:
+		return "crash"
+	case EvLeave:
+		return "leave"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Event is one recorded protocol event.
+type Event struct {
+	At   sim.Time
+	Kind Kind
+	Proc mid.ProcID
+	Msg  mid.MID     // EvGenerate/EvProcess/EvDiscard
+	Deps mid.DepList // EvGenerate only: the message's labels
+}
+
+// String renders the event compactly.
+func (e Event) String() string {
+	switch e.Kind {
+	case EvGenerate:
+		return fmt.Sprintf("%6.2f %-8s p%d %v deps=%v", e.At.RTD(), e.Kind, e.Proc, e.Msg, e.Deps)
+	case EvProcess, EvDiscard:
+		return fmt.Sprintf("%6.2f %-8s p%d %v", e.At.RTD(), e.Kind, e.Proc, e.Msg)
+	default:
+		return fmt.Sprintf("%6.2f %-8s p%d", e.At.RTD(), e.Kind, e.Proc)
+	}
+}
+
+// Recorder accumulates events. It is not safe for concurrent use; the
+// simulator is single-goroutine.
+type Recorder struct {
+	N      int
+	Events []Event
+}
+
+// NewRecorder returns a recorder for a group of n processes.
+func NewRecorder(n int) *Recorder { return &Recorder{N: n} }
+
+// Add appends an event.
+func (r *Recorder) Add(e Event) { r.Events = append(r.Events, e) }
+
+// Generate records a user message entering the system.
+func (r *Recorder) Generate(at sim.Time, p mid.ProcID, m mid.MID, deps mid.DepList) {
+	r.Add(Event{At: at, Kind: EvGenerate, Proc: p, Msg: m, Deps: deps.Clone()})
+}
+
+// Process records a processing event.
+func (r *Recorder) Process(at sim.Time, p mid.ProcID, m mid.MID) {
+	r.Add(Event{At: at, Kind: EvProcess, Proc: p, Msg: m})
+}
+
+// Discard records an agreed destruction.
+func (r *Recorder) Discard(at sim.Time, p mid.ProcID, m mid.MID) {
+	r.Add(Event{At: at, Kind: EvDiscard, Proc: p, Msg: m})
+}
+
+// Crash records an injected fail-stop.
+func (r *Recorder) Crash(at sim.Time, p mid.ProcID) {
+	r.Add(Event{At: at, Kind: EvCrash, Proc: p})
+}
+
+// Leave records a self-exclusion.
+func (r *Recorder) Leave(at sim.Time, p mid.ProcID) {
+	r.Add(Event{At: at, Kind: EvLeave, Proc: p})
+}
+
+// Dump renders the whole log.
+func (r *Recorder) Dump() string {
+	var b strings.Builder
+	for _, e := range r.Events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Violation is one broken clause.
+type Violation struct {
+	Clause string
+	Detail string
+}
+
+func (v Violation) String() string { return v.Clause + ": " + v.Detail }
+
+// Verify checks the URCGC clauses against the log:
+//
+//   - per-process sequence contiguity (each log processes (q,1),(q,2),...);
+//   - Uniform Ordering: no process processes a message before one of its
+//     labelled dependencies (reconstructed from the EvGenerate labels and
+//     the implicit own-sequence predecessor);
+//   - Uniform Atomicity among survivors: processes that neither crashed
+//     nor left end with identical processed sets;
+//   - discard consistency: a message processed by any survivor is
+//     discarded at no survivor;
+//   - no processing after crash or leave.
+//
+// It returns every violation found (empty = the log is URCGC-consistent).
+func (r *Recorder) Verify() []Violation {
+	var out []Violation
+	deps := map[mid.MID]mid.DepList{}
+	halted := map[mid.ProcID]sim.Time{}
+	for _, e := range r.Events {
+		if e.Kind == EvGenerate {
+			deps[e.Msg] = e.Deps
+		}
+		if e.Kind == EvCrash || e.Kind == EvLeave {
+			if _, dup := halted[e.Proc]; !dup {
+				halted[e.Proc] = e.At
+			}
+		}
+	}
+
+	processed := make([]map[mid.MID]bool, r.N)
+	discarded := make([]map[mid.MID]bool, r.N)
+	last := make([]mid.SeqVector, r.N)
+	for i := range processed {
+		processed[i] = map[mid.MID]bool{}
+		discarded[i] = map[mid.MID]bool{}
+		last[i] = mid.NewSeqVector(r.N)
+	}
+
+	for _, e := range r.Events {
+		switch e.Kind {
+		case EvProcess:
+			if at, dead := halted[e.Proc]; dead && e.At > at {
+				out = append(out, Violation{"liveness-bound", fmt.Sprintf("p%d processed %v after halting at %v", e.Proc, e.Msg, at)})
+			}
+			if int(e.Proc) >= r.N {
+				out = append(out, Violation{"model", fmt.Sprintf("process %d outside group", e.Proc)})
+				continue
+			}
+			if e.Msg.Seq != last[e.Proc][e.Msg.Proc]+1 {
+				out = append(out, Violation{"ordering", fmt.Sprintf("p%d processed %v after (q,%d): sequence gap", e.Proc, e.Msg, last[e.Proc][e.Msg.Proc])})
+			}
+			last[e.Proc][e.Msg.Proc] = e.Msg.Seq
+			for _, d := range effectiveDeps(e.Msg, deps) {
+				if !processed[e.Proc][d] {
+					out = append(out, Violation{"ordering", fmt.Sprintf("p%d processed %v before its dependency %v", e.Proc, e.Msg, d)})
+				}
+			}
+			processed[e.Proc][e.Msg] = true
+		case EvDiscard:
+			discarded[e.Proc][e.Msg] = true
+			if processed[e.Proc][e.Msg] {
+				out = append(out, Violation{"atomicity", fmt.Sprintf("p%d discarded %v it had processed", e.Proc, e.Msg)})
+			}
+		}
+	}
+
+	// Survivors: never halted.
+	var survivors []mid.ProcID
+	for i := 0; i < r.N; i++ {
+		if _, dead := halted[mid.ProcID(i)]; !dead {
+			survivors = append(survivors, mid.ProcID(i))
+		}
+	}
+	if len(survivors) > 1 {
+		ref := survivors[0]
+		refSet := keys(processed[ref])
+		for _, p := range survivors[1:] {
+			got := keys(processed[p])
+			if !sameSet(refSet, got) {
+				out = append(out, Violation{"atomicity", fmt.Sprintf("survivors p%d and p%d processed different sets (%d vs %d messages)", ref, p, len(refSet), len(got))})
+			}
+		}
+	}
+	for _, p := range survivors {
+		for m := range discarded[p] {
+			for _, q := range survivors {
+				if processed[q][m] {
+					out = append(out, Violation{"atomicity", fmt.Sprintf("%v discarded at p%d but processed at p%d", m, p, q)})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// effectiveDeps mirrors causal.Message.EffectiveDeps using the recorded
+// labels: the explicit deps plus the implicit own-sequence predecessor.
+func effectiveDeps(m mid.MID, labels map[mid.MID]mid.DepList) mid.DepList {
+	d := labels[m].Clone()
+	if prev := m.Prev(); !prev.IsZero() && !d.Covers(prev) {
+		d = append(d, prev)
+	}
+	return d
+}
+
+func keys(set map[mid.MID]bool) []mid.MID {
+	out := make([]mid.MID, 0, len(set))
+	for m := range set {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+func sameSet(a, b []mid.MID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

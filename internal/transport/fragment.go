@@ -1,0 +1,106 @@
+package transport
+
+import (
+	"urcgc/internal/mid"
+	"urcgc/internal/wire"
+)
+
+// Fragmentation (Section 5): "the urcgc protocol does not require any
+// particular service from the transport protocol that is useful when there
+// is the need of fragmenting and assembling the urcgc data units to fit the
+// network packet size." When an Entity is configured with an MTU, any PDU
+// whose encoding exceeds it is split into Fragment PDUs and reassembled at
+// the receiving entity before decapsulation. Loss of any fragment loses the
+// whole PDU — an ordinary omission the protocol above repairs.
+
+// Fragment carries one piece of an oversized PDU.
+type Fragment struct {
+	Src    mid.ProcID
+	Seq    uint32 // per-source fragmented-PDU identifier
+	Index  uint16
+	Total  uint16
+	Chunk  []byte
+	Anchor wire.Kind // inner kind, for load accounting and debugging
+}
+
+// KindFragment is the transport fragment kind (3x range).
+const KindFragment wire.Kind = 32
+
+// Kind implements wire.PDU.
+func (*Fragment) Kind() wire.Kind { return KindFragment }
+
+// EncodedSize implements wire.PDU: kind(1)+src(4)+seq(4)+index(2)+total(2)+
+// anchor(1)+len(2)+chunk.
+func (f *Fragment) EncodedSize() int { return 1 + 4 + 4 + 2 + 2 + 1 + 2 + len(f.Chunk) }
+
+// fragmentOverhead is EncodedSize minus the chunk.
+const fragmentOverhead = 16
+
+type fragKey struct {
+	src mid.ProcID
+	seq uint32
+}
+
+type reassembly struct {
+	total  uint16
+	chunks [][]byte
+	have   int
+}
+
+// sendFragmented splits an encoded PDU into MTU-sized fragments toward dst.
+// The caller has already decided the PDU exceeds the MTU.
+func (e *Entity) sendFragmented(dst mid.ProcID, inner wire.PDU, encoded []byte) {
+	chunkSize := e.cfg.MTU - fragmentOverhead
+	if chunkSize <= 0 {
+		chunkSize = 1
+	}
+	total := (len(encoded) + chunkSize - 1) / chunkSize
+	seq := e.allocSeq()
+	for i := 0; i < total; i++ {
+		lo := i * chunkSize
+		hi := lo + chunkSize
+		if hi > len(encoded) {
+			hi = len(encoded)
+		}
+		e.Stats.Fragments++
+		e.nw.Send(e.id, dst, &Fragment{
+			Src: e.id, Seq: seq,
+			Index: uint16(i), Total: uint16(total),
+			Chunk:  encoded[lo:hi],
+			Anchor: inner.Kind(),
+		})
+	}
+}
+
+// recvFragment buffers one fragment and, on completion, decodes and
+// delivers the reassembled PDU.
+func (e *Entity) recvFragment(f *Fragment) {
+	if f.Total == 0 || f.Index >= f.Total {
+		return
+	}
+	k := fragKey{src: f.Src, seq: f.Seq}
+	r, ok := e.reasm[k]
+	if !ok {
+		r = &reassembly{total: f.Total, chunks: make([][]byte, f.Total)}
+		e.reasm[k] = r
+	}
+	if r.total != f.Total || r.chunks[f.Index] != nil {
+		return // inconsistent or duplicate fragment
+	}
+	r.chunks[f.Index] = f.Chunk
+	r.have++
+	if r.have < int(r.total) {
+		return
+	}
+	delete(e.reasm, k)
+	var buf []byte
+	for _, c := range r.chunks {
+		buf = append(buf, c...)
+	}
+	pdu, err := wire.Unmarshal(buf)
+	if err != nil {
+		return // corrupted reassembly: the PDU is lost, an omission
+	}
+	e.Stats.Reassembled++
+	e.upper.Recv(f.Src, pdu)
+}

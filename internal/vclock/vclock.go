@@ -1,0 +1,136 @@
+// Package vclock implements the vector timestamps CBCAST (Birman, Schiper,
+// Stephenson 1991) uses to enforce causal delivery. Each process keeps a
+// vector counting, per group member, how many of that member's broadcasts it
+// has delivered; a message stamped with the sender's vector is deliverable
+// when it is the next from its sender and its cross entries do not run ahead
+// of the receiver.
+package vclock
+
+import "fmt"
+
+// VT is a vector timestamp over a group of fixed cardinality.
+type VT []uint32
+
+// New returns a zero vector for n processes.
+func New(n int) VT { return make(VT, n) }
+
+// Clone returns an independent copy.
+func (v VT) Clone() VT {
+	out := make(VT, len(v))
+	copy(out, v)
+	return out
+}
+
+// Tick increments entry i (a send or delivery by process i).
+func (v VT) Tick(i int) {
+	v[i]++
+}
+
+// Merge raises each entry of v to the max with o.
+func (v VT) Merge(o VT) {
+	for i := range v {
+		if i < len(o) && o[i] > v[i] {
+			v[i] = o[i]
+		}
+	}
+}
+
+// LE reports whether v <= o pointwise.
+func (v VT) LE(o VT) bool {
+	for i := range v {
+		var x uint32
+		if i < len(o) {
+			x = o[i]
+		}
+		if v[i] > x {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports pointwise equality.
+func (v VT) Equal(o VT) bool {
+	if len(v) != len(o) {
+		return false
+	}
+	for i := range v {
+		if v[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Ordering relates two timestamps.
+type Ordering int
+
+// Possible orderings of two vector timestamps.
+const (
+	Before Ordering = iota
+	After
+	Same
+	Concurrent
+)
+
+// String implements fmt.Stringer.
+func (o Ordering) String() string {
+	switch o {
+	case Before:
+		return "before"
+	case After:
+		return "after"
+	case Same:
+		return "same"
+	case Concurrent:
+		return "concurrent"
+	default:
+		return fmt.Sprintf("ordering(%d)", int(o))
+	}
+}
+
+// Compare classifies v against o.
+func (v VT) Compare(o VT) Ordering {
+	le, ge := v.LE(o), o.LE(v)
+	switch {
+	case le && ge:
+		return Same
+	case le:
+		return Before
+	case ge:
+		return After
+	default:
+		return Concurrent
+	}
+}
+
+// Deliverable implements the CBCAST delivery test at a receiver with local
+// vector local: a message stamped ts by sender is deliverable iff it is the
+// sender's next broadcast (ts[sender] == local[sender]+1) and every other
+// entry of ts is already covered locally (ts[k] <= local[k], k != sender).
+func Deliverable(ts VT, sender int, local VT) bool {
+	if sender < 0 || sender >= len(ts) {
+		return false
+	}
+	for k := range ts {
+		var have uint32
+		if k < len(local) {
+			have = local[k]
+		}
+		if k == sender {
+			if ts[k] != have+1 {
+				return false
+			}
+			continue
+		}
+		if ts[k] > have {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the vector compactly.
+func (v VT) String() string {
+	return fmt.Sprint([]uint32(v))
+}

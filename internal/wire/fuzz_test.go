@@ -1,0 +1,61 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"urcgc/internal/causal"
+	"urcgc/internal/mid"
+)
+
+// FuzzUnmarshal throws arbitrary bytes at the decoder: it must never panic,
+// and anything it accepts must re-marshal to the same bytes (canonical
+// encoding). Runs its seed corpus under plain `go test`; extend with
+// `go test -fuzz=FuzzUnmarshal ./internal/wire`.
+func FuzzUnmarshal(f *testing.F) {
+	seed := []PDU{
+		&Data{Msg: causal.Message{
+			ID:      mid.MID{Proc: 3, Seq: 17},
+			Deps:    mid.DepList{{Proc: 0, Seq: 4}},
+			Payload: []byte("payload"),
+		}},
+		&Request{
+			Sender: 2, Subrun: 7,
+			LastProcessed: mid.SeqVector{1, 2, 3},
+			Waiting:       mid.SeqVector{0, 5, 0},
+		},
+		mkDecision(5),
+		&Recover{Requester: 4, Wants: []WantRange{{Proc: 0, From: 3, To: 9}}},
+		&Retransmit{Responder: 1, Msgs: []*causal.Message{
+			{ID: mid.MID{Proc: 0, Seq: 1}, Payload: []byte("a")},
+		}},
+	}
+	for _, p := range seed {
+		buf, err := Marshal(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	f.Add([]byte{1, 0, 0})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Unmarshal(data)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		out, err := Marshal(p)
+		if err != nil {
+			t.Fatalf("accepted PDU failed to re-marshal: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("non-canonical decode:\n in  %x\n out %x", data, out)
+		}
+		if p.EncodedSize() != len(data) {
+			t.Fatalf("EncodedSize %d != wire length %d", p.EncodedSize(), len(data))
+		}
+	})
+}

@@ -1,0 +1,404 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"urcgc/internal/causal"
+	"urcgc/internal/mid"
+)
+
+// Marshal encodes a PDU to a fresh buffer of exactly EncodedSize bytes.
+func Marshal(p PDU) ([]byte, error) {
+	w := &writer{buf: make([]byte, 0, p.EncodedSize())}
+	w.u8(uint8(p.Kind()))
+	switch v := p.(type) {
+	case *Data:
+		marshalMsgBody(w, &v.Msg)
+	case *Request:
+		w.i32(int32(v.Sender))
+		w.i64(v.Subrun)
+		if len(v.LastProcessed) != len(v.Waiting) {
+			return nil, fmt.Errorf("wire: request vectors disagree on n (%d vs %d)", len(v.LastProcessed), len(v.Waiting))
+		}
+		w.u16(uint16(len(v.LastProcessed)))
+		w.seqVec(v.LastProcessed)
+		w.seqVec(v.Waiting)
+		if v.Prev == nil {
+			w.u8(0)
+		} else {
+			w.u8(1)
+			if err := marshalDecisionBody(w, v.Prev); err != nil {
+				return nil, err
+			}
+		}
+	case *Decision:
+		if err := marshalDecisionBody(w, v); err != nil {
+			return nil, err
+		}
+	case *Recover:
+		w.i32(int32(v.Requester))
+		w.u16(uint16(len(v.Wants)))
+		for _, want := range v.Wants {
+			w.i32(int32(want.Proc))
+			w.u32(uint32(want.From))
+			w.u32(uint32(want.To))
+		}
+	case *Retransmit:
+		w.i32(int32(v.Responder))
+		w.u16(uint16(len(v.Msgs)))
+		for _, m := range v.Msgs {
+			marshalMsgBody(w, m)
+		}
+	default:
+		return nil, fmt.Errorf("wire: unknown PDU type %T", p)
+	}
+	if len(w.buf) != p.EncodedSize() {
+		return nil, fmt.Errorf("wire: %v encoded to %d bytes, EncodedSize says %d", p.Kind(), len(w.buf), p.EncodedSize())
+	}
+	return w.buf, nil
+}
+
+// Unmarshal decodes a buffer produced by Marshal.
+func Unmarshal(buf []byte) (PDU, error) {
+	r := &reader{buf: buf}
+	kind, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	var p PDU
+	switch Kind(kind) {
+	case KindData:
+		d := &Data{}
+		if err := unmarshalMsgBody(r, &d.Msg); err != nil {
+			return nil, err
+		}
+		p = d
+	case KindRequest:
+		req := &Request{}
+		if req.Sender, err = r.procID(); err != nil {
+			return nil, err
+		}
+		if req.Subrun, err = r.i64(); err != nil {
+			return nil, err
+		}
+		n, err := r.u16()
+		if err != nil {
+			return nil, err
+		}
+		if req.LastProcessed, err = r.seqVec(int(n)); err != nil {
+			return nil, err
+		}
+		if req.Waiting, err = r.seqVec(int(n)); err != nil {
+			return nil, err
+		}
+		has, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		if has > 1 {
+			return nil, fmt.Errorf("wire: non-canonical hasPrev byte %#x", has)
+		}
+		if has != 0 {
+			req.Prev = &Decision{}
+			if err := unmarshalDecisionBody(r, req.Prev); err != nil {
+				return nil, err
+			}
+		}
+		p = req
+	case KindDecision:
+		d := &Decision{}
+		if err := unmarshalDecisionBody(r, d); err != nil {
+			return nil, err
+		}
+		p = d
+	case KindRecover:
+		rec := &Recover{}
+		if rec.Requester, err = r.procID(); err != nil {
+			return nil, err
+		}
+		cnt, err := r.u16()
+		if err != nil {
+			return nil, err
+		}
+		rec.Wants = make([]WantRange, cnt)
+		for i := range rec.Wants {
+			if rec.Wants[i].Proc, err = r.procID(); err != nil {
+				return nil, err
+			}
+			f, err := r.u32()
+			if err != nil {
+				return nil, err
+			}
+			t, err := r.u32()
+			if err != nil {
+				return nil, err
+			}
+			rec.Wants[i].From, rec.Wants[i].To = mid.Seq(f), mid.Seq(t)
+		}
+		p = rec
+	case KindRetransmit:
+		rt := &Retransmit{}
+		if rt.Responder, err = r.procID(); err != nil {
+			return nil, err
+		}
+		cnt, err := r.u16()
+		if err != nil {
+			return nil, err
+		}
+		rt.Msgs = make([]*causal.Message, cnt)
+		for i := range rt.Msgs {
+			m := &causal.Message{}
+			if err := unmarshalMsgBody(r, m); err != nil {
+				return nil, err
+			}
+			rt.Msgs[i] = m
+		}
+		p = rt
+	default:
+		return nil, fmt.Errorf("wire: unknown kind %d", kind)
+	}
+	if r.off != len(buf) {
+		return nil, fmt.Errorf("wire: %d trailing bytes after %v", len(buf)-r.off, p.Kind())
+	}
+	return p, nil
+}
+
+func marshalMsgBody(w *writer, m *causal.Message) {
+	w.i32(int32(m.ID.Proc))
+	w.u32(uint32(m.ID.Seq))
+	w.u16(uint16(len(m.Deps)))
+	for _, d := range m.Deps {
+		w.i32(int32(d.Proc))
+		w.u32(uint32(d.Seq))
+	}
+	w.u16(uint16(len(m.Payload)))
+	w.bytes(m.Payload)
+}
+
+func unmarshalMsgBody(r *reader, m *causal.Message) error {
+	var err error
+	if m.ID.Proc, err = r.procID(); err != nil {
+		return err
+	}
+	s, err := r.u32()
+	if err != nil {
+		return err
+	}
+	m.ID.Seq = mid.Seq(s)
+	cnt, err := r.u16()
+	if err != nil {
+		return err
+	}
+	if cnt > 0 {
+		m.Deps = make(mid.DepList, cnt)
+		for i := range m.Deps {
+			if m.Deps[i].Proc, err = r.procID(); err != nil {
+				return err
+			}
+			ds, err := r.u32()
+			if err != nil {
+				return err
+			}
+			m.Deps[i].Seq = mid.Seq(ds)
+		}
+	}
+	plen, err := r.u16()
+	if err != nil {
+		return err
+	}
+	if m.Payload, err = r.take(int(plen)); err != nil {
+		return err
+	}
+	if len(m.Payload) == 0 {
+		m.Payload = nil
+	}
+	return nil
+}
+
+func marshalDecisionBody(w *writer, d *Decision) error {
+	n := len(d.MaxProcessed)
+	if len(d.MostUpdated) != n || len(d.MinWaiting) != n || len(d.CleanTo) != n ||
+		len(d.Attempts) != n || len(d.Alive) != n || len(d.Covered) != n {
+		return fmt.Errorf("wire: decision field lengths disagree (n=%d)", n)
+	}
+	w.i64(d.Subrun)
+	w.i32(int32(d.Coord))
+	w.u16(uint16(n))
+	var flags uint8
+	if d.FullGroup {
+		flags |= 1
+	}
+	w.u8(flags)
+	w.seqVec(d.MaxProcessed)
+	for _, p := range d.MostUpdated {
+		w.i32(int32(p))
+	}
+	w.seqVec(d.MinWaiting)
+	w.seqVec(d.CleanTo)
+	for _, a := range d.Attempts {
+		w.u8(a)
+	}
+	w.bitmask(d.Alive)
+	w.bitmask(d.Covered)
+	return nil
+}
+
+func unmarshalDecisionBody(r *reader, d *Decision) error {
+	var err error
+	if d.Subrun, err = r.i64(); err != nil {
+		return err
+	}
+	if d.Coord, err = r.procID(); err != nil {
+		return err
+	}
+	n16, err := r.u16()
+	if err != nil {
+		return err
+	}
+	n := int(n16)
+	flags, err := r.u8()
+	if err != nil {
+		return err
+	}
+	if flags&^uint8(1) != 0 {
+		return fmt.Errorf("wire: non-canonical decision flags %#x", flags)
+	}
+	d.FullGroup = flags&1 != 0
+	if d.MaxProcessed, err = r.seqVec(n); err != nil {
+		return err
+	}
+	d.MostUpdated = make([]mid.ProcID, n)
+	for i := range d.MostUpdated {
+		if d.MostUpdated[i], err = r.procID(); err != nil {
+			return err
+		}
+	}
+	if d.MinWaiting, err = r.seqVec(n); err != nil {
+		return err
+	}
+	if d.CleanTo, err = r.seqVec(n); err != nil {
+		return err
+	}
+	d.Attempts = make([]uint8, n)
+	for i := range d.Attempts {
+		if d.Attempts[i], err = r.u8(); err != nil {
+			return err
+		}
+	}
+	if d.Alive, err = r.bitmask(n); err != nil {
+		return err
+	}
+	if d.Covered, err = r.bitmask(n); err != nil {
+		return err
+	}
+	return nil
+}
+
+// writer appends big-endian fields to a buffer.
+type writer struct{ buf []byte }
+
+func (w *writer) u8(v uint8)   { w.buf = append(w.buf, v) }
+func (w *writer) u16(v uint16) { w.buf = binary.BigEndian.AppendUint16(w.buf, v) }
+func (w *writer) u32(v uint32) { w.buf = binary.BigEndian.AppendUint32(w.buf, v) }
+func (w *writer) i32(v int32)  { w.u32(uint32(v)) }
+func (w *writer) i64(v int64)  { w.buf = binary.BigEndian.AppendUint64(w.buf, uint64(v)) }
+func (w *writer) bytes(b []byte) {
+	w.buf = append(w.buf, b...)
+}
+func (w *writer) seqVec(v mid.SeqVector) {
+	for _, s := range v {
+		w.u32(uint32(s))
+	}
+}
+func (w *writer) bitmask(bits []bool) {
+	nbytes := (len(bits) + 7) / 8
+	start := len(w.buf)
+	w.buf = append(w.buf, make([]byte, nbytes)...)
+	for i, b := range bits {
+		if b {
+			w.buf[start+i/8] |= 1 << (i % 8)
+		}
+	}
+}
+
+// reader consumes big-endian fields from a buffer.
+type reader struct {
+	buf []byte
+	off int
+}
+
+func (r *reader) take(n int) ([]byte, error) {
+	if r.off+n > len(r.buf) {
+		return nil, ErrTruncated
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+func (r *reader) u8() (uint8, error) {
+	b, err := r.take(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (r *reader) u16() (uint16, error) {
+	b, err := r.take(2)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint16(b), nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	b, err := r.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint32(b), nil
+}
+
+func (r *reader) i64() (int64, error) {
+	b, err := r.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return int64(binary.BigEndian.Uint64(b)), nil
+}
+
+func (r *reader) procID() (mid.ProcID, error) {
+	v, err := r.u32()
+	return mid.ProcID(int32(v)), err
+}
+
+func (r *reader) seqVec(n int) (mid.SeqVector, error) {
+	v := mid.NewSeqVector(n)
+	for i := range v {
+		s, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		v[i] = mid.Seq(s)
+	}
+	return v, nil
+}
+
+func (r *reader) bitmask(n int) ([]bool, error) {
+	raw, err := r.take((n + 7) / 8)
+	if err != nil {
+		return nil, err
+	}
+	// Reject set padding bits: the encoding is canonical so that
+	// Marshal(Unmarshal(b)) == b for every accepted b.
+	if pad := len(raw)*8 - n; pad > 0 && raw[len(raw)-1]>>(8-pad) != 0 {
+		return nil, fmt.Errorf("wire: non-canonical bitmask padding")
+	}
+	bits := make([]bool, n)
+	for i := range bits {
+		bits[i] = raw[i/8]&(1<<(i%8)) != 0
+	}
+	return bits, nil
+}

@@ -1,0 +1,248 @@
+// Package wire defines the protocol data units of the urcgc protocol and
+// their binary encoding.
+//
+// The simulator exchanges PDUs as typed values and only uses EncodedSize to
+// account network load byte-accurately (Table 1 of the paper); the UDP
+// runtime uses the full Marshal/Unmarshal path. Encoding is big-endian,
+// length-prefixed where variable, and has no external dependencies, so a
+// basic datagram transport suffices — the protocol requires no particular
+// service from the layer below (Section 5).
+package wire
+
+import (
+	"errors"
+	"fmt"
+
+	"urcgc/internal/causal"
+	"urcgc/internal/mid"
+)
+
+// Kind discriminates PDU types on the wire.
+type Kind uint8
+
+// PDU kinds. Kinds 1-5 belong to the urcgc protocol and have a binary
+// encoding; the 1x and 2x ranges are reserved for the CBCAST and Psync
+// baseline protocols, which exist only inside the simulator and whose PDUs
+// implement EncodedSize without a Marshal path.
+const (
+	KindData       Kind = 1 // user message broadcast
+	KindRequest    Kind = 2 // per-subrun report to the coordinator
+	KindDecision   Kind = 3 // coordinator broadcast
+	KindRecover    Kind = 4 // point-to-point recovery request
+	KindRetransmit Kind = 5 // recovery answer carrying history messages
+
+	// CBCAST baseline (internal/cbcast).
+	KindCBData     Kind = 10 // vector-stamped causal broadcast
+	KindCBAck      Kind = 11 // explicit stability (ack vector) message
+	KindCBFlushReq Kind = 12 // view-change announcement
+	KindCBFlush    Kind = 13 // member's unstable messages to the manager
+	KindCBFlushDat Kind = 14 // manager's re-dissemination of unstable msgs
+	KindCBView     Kind = 15 // new view installation
+
+	// Psync baseline (internal/psync).
+	KindPsData    Kind = 20 // context-graph message
+	KindPsNak     Kind = 21 // retransmission request for a missing node
+	KindPsRetrans Kind = 22 // answer to a NAK
+	KindPsMask    Kind = 23 // mask_out proposal
+	KindPsMaskAck Kind = 24 // mask_out acknowledgement
+)
+
+// IsData reports whether the kind carries user payload (as opposed to
+// protocol control traffic). Load accounting uses this to split Table 1's
+// control columns from data traffic.
+func (k Kind) IsData() bool {
+	return k == KindData || k == KindCBData || k == KindPsData
+}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindData:
+		return "DATA"
+	case KindRequest:
+		return "REQUEST"
+	case KindDecision:
+		return "DECISION"
+	case KindRecover:
+		return "RECOVER"
+	case KindRetransmit:
+		return "RETRANSMIT"
+	case KindCBData:
+		return "CB-DATA"
+	case KindCBAck:
+		return "CB-ACK"
+	case KindCBFlushReq:
+		return "CB-FLUSHREQ"
+	case KindCBFlush:
+		return "CB-FLUSH"
+	case KindCBFlushDat:
+		return "CB-FLUSHDATA"
+	case KindCBView:
+		return "CB-VIEW"
+	case KindPsData:
+		return "PS-DATA"
+	case KindPsNak:
+		return "PS-NAK"
+	case KindPsRetrans:
+		return "PS-RETRANS"
+	case KindPsMask:
+		return "PS-MASK"
+	case KindPsMaskAck:
+		return "PS-MASKACK"
+	default:
+		return fmt.Sprintf("KIND(%d)", uint8(k))
+	}
+}
+
+// PDU is implemented by every protocol data unit.
+type PDU interface {
+	Kind() Kind
+	// EncodedSize returns the exact number of bytes Marshal produces,
+	// including the kind byte.
+	EncodedSize() int
+}
+
+// ErrTruncated is returned by Unmarshal when the buffer ends early.
+var ErrTruncated = errors.New("wire: truncated PDU")
+
+// Data carries one user message.
+type Data struct {
+	Msg causal.Message
+}
+
+// Kind implements PDU.
+func (*Data) Kind() Kind { return KindData }
+
+// EncodedSize implements PDU.
+func (d *Data) EncodedSize() int {
+	// kind(1) + mid(8) + depCount(2) + deps(8 each) + payloadLen(2) + payload
+	return 1 + 8 + 2 + 8*len(d.Msg.Deps) + 2 + len(d.Msg.Payload)
+}
+
+// Request is the per-subrun report a process sends to the current
+// coordinator: its last-processed vector, its oldest-waiting vector, and
+// the freshest decision it holds (the reliable circulation of decisions).
+type Request struct {
+	Sender        mid.ProcID
+	Subrun        int64
+	LastProcessed mid.SeqVector
+	Waiting       mid.SeqVector
+	Prev          *Decision // nil before the first decision is ever received
+}
+
+// Kind implements PDU.
+func (*Request) Kind() Kind { return KindRequest }
+
+// EncodedSize implements PDU.
+func (r *Request) EncodedSize() int {
+	// kind(1) + sender(4) + subrun(8) + n(2) + last(4n) + waiting(4n) + hasPrev(1)
+	n := len(r.LastProcessed)
+	s := 1 + 4 + 8 + 2 + 4*n + 4*n + 1
+	if r.Prev != nil {
+		s += r.Prev.EncodedSize() - 1 // embedded body carries no kind byte
+	}
+	return s
+}
+
+// Decision is the coordinator's broadcast closing a subrun. It both drives
+// normal stability processing and embeds all failure handling, which is the
+// heart of the paper's contribution: there is no separate membership
+// protocol.
+type Decision struct {
+	Subrun int64
+	Coord  mid.ProcID
+
+	// MaxProcessed[q] is the highest sequence number of q's sequence any
+	// contacted process has processed; MostUpdated[q] identifies one such
+	// process (mid.None when MaxProcessed[q] is 0). Drives recovery.
+	MaxProcessed mid.SeqVector
+	MostUpdated  []mid.ProcID
+
+	// MinWaiting[q] is the minimum over contacted processes of the oldest
+	// waiting sequence number of q's sequence (0 = nothing waiting
+	// anywhere). Together with MaxProcessed it detects orphaned sequences.
+	MinWaiting mid.SeqVector
+
+	// CleanTo[q] is the stability lower bound accumulated so far: the
+	// minimum last-processed of q's sequence over the processes covered by
+	// this decision chain. Histories may be purged up to CleanTo only when
+	// FullGroup is true.
+	CleanTo   mid.SeqVector
+	Covered   []bool // processes whose reports are folded into CleanTo
+	FullGroup bool
+
+	// Attempts are the circulated silence counters; Alive is the group
+	// composition after this subrun's crash declarations.
+	Attempts []uint8
+	Alive    []bool
+}
+
+// Kind implements PDU.
+func (*Decision) Kind() Kind { return KindDecision }
+
+// EncodedSize implements PDU.
+func (d *Decision) EncodedSize() int {
+	n := len(d.MaxProcessed)
+	// kind(1) + subrun(8) + coord(4) + n(2) + flags(1)
+	// + maxProcessed(4n) + mostUpdated(4n) + minWaiting(4n) + cleanTo(4n)
+	// + attempts(n) + alive(ceil(n/8)) + covered(ceil(n/8))
+	return 1 + 8 + 4 + 2 + 1 + 4*n*4 + n + 2*((n+7)/8)
+}
+
+// Clone returns a deep copy of the decision.
+func (d *Decision) Clone() *Decision {
+	if d == nil {
+		return nil
+	}
+	cp := *d
+	cp.MaxProcessed = d.MaxProcessed.Clone()
+	cp.MostUpdated = append([]mid.ProcID(nil), d.MostUpdated...)
+	cp.MinWaiting = d.MinWaiting.Clone()
+	cp.CleanTo = d.CleanTo.Clone()
+	cp.Covered = append([]bool(nil), d.Covered...)
+	cp.Attempts = append([]uint8(nil), d.Attempts...)
+	cp.Alive = append([]bool(nil), d.Alive...)
+	return &cp
+}
+
+// Recover asks a more updated peer for missing history messages: for each
+// listed sequence, the half-open want [From, To] inclusive.
+type Recover struct {
+	Requester mid.ProcID
+	Wants     []WantRange
+}
+
+// WantRange names a contiguous slice of one sequence.
+type WantRange struct {
+	Proc     mid.ProcID
+	From, To mid.Seq
+}
+
+// Kind implements PDU.
+func (*Recover) Kind() Kind { return KindRecover }
+
+// EncodedSize implements PDU.
+func (r *Recover) EncodedSize() int {
+	// kind(1) + requester(4) + count(2) + entries(12 each)
+	return 1 + 4 + 2 + 12*len(r.Wants)
+}
+
+// Retransmit answers a Recover with messages read from the history.
+type Retransmit struct {
+	Responder mid.ProcID
+	Msgs      []*causal.Message
+}
+
+// Kind implements PDU.
+func (*Retransmit) Kind() Kind { return KindRetransmit }
+
+// EncodedSize implements PDU.
+func (t *Retransmit) EncodedSize() int {
+	// kind(1) + responder(4) + count(2) + embedded data messages (without
+	// their own kind bytes).
+	s := 1 + 4 + 2
+	for _, m := range t.Msgs {
+		s += 8 + 2 + 8*len(m.Deps) + 2 + len(m.Payload)
+	}
+	return s
+}

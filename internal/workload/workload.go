@@ -1,0 +1,199 @@
+// Package workload generates the user-message loads the experiments drive
+// the protocols with: who submits, when, with which causal labels. The
+// paper's simulations use steady per-round generation ("up to one message a
+// round") against several dependency shapes; the generators here cover that
+// plus bursts and budgeted runs, all deterministic under a seed.
+package workload
+
+import (
+	"math/rand"
+
+	"urcgc/internal/core"
+	"urcgc/internal/mid"
+)
+
+// Shape selects how a new message is causally labelled.
+type Shape int
+
+// Dependency shapes.
+const (
+	// Independent: no explicit labels; only the implicit own-sequence
+	// chain. Maximum concurrency.
+	Independent Shape = iota
+	// Ring: depend on the latest processed message of the previous
+	// process in the ring — one cross edge per message, the intermediate
+	// interpretation at its typical density.
+	Ring
+	// Temporal: depend on the latest processed message of every sequence
+	// (what vector-clock protocols enforce implicitly). Minimum
+	// concurrency.
+	Temporal
+	// RandomPeer: depend on the latest processed message of one uniformly
+	// chosen other process.
+	RandomPeer
+)
+
+// String implements fmt.Stringer.
+func (s Shape) String() string {
+	switch s {
+	case Independent:
+		return "independent"
+	case Ring:
+		return "ring"
+	case Temporal:
+		return "temporal"
+	case RandomPeer:
+		return "random-peer"
+	default:
+		return "shape(?)"
+	}
+}
+
+// Generator drives submissions into a simulated cluster. OnRound is meant
+// to be passed as core.RunOptions.OnRound.
+type Generator struct {
+	c       *core.Cluster
+	rng     *rand.Rand
+	shape   Shape
+	rate    float64 // submission probability per process per subrun
+	limit   int     // subruns of workload; 0 = unlimited
+	perProc int     // max messages per process; 0 = unlimited
+	payload []byte
+
+	sent []int
+	// Submitted counts accepted submissions.
+	Submitted int
+}
+
+// Option configures a Generator.
+type Option func(*Generator)
+
+// WithShape selects the dependency shape (default Ring).
+func WithShape(s Shape) Option { return func(g *Generator) { g.shape = s } }
+
+// WithRate sets the per-process per-subrun submission probability
+// (default 1.0 — one message per round, the paper's maximum service rate).
+func WithRate(r float64) Option { return func(g *Generator) { g.rate = r } }
+
+// WithLimit bounds the workload to the first n subruns.
+func WithLimit(n int) Option { return func(g *Generator) { g.limit = n } }
+
+// WithPerProc bounds each process's total submissions.
+func WithPerProc(n int) Option { return func(g *Generator) { g.perProc = n } }
+
+// WithPayload sets the message payload (default 64 zero bytes).
+func WithPayload(p []byte) Option { return func(g *Generator) { g.payload = p } }
+
+// New returns a generator for the cluster, deterministic under seed.
+func New(c *core.Cluster, seed int64, opts ...Option) *Generator {
+	g := &Generator{
+		c:       c,
+		rng:     rand.New(rand.NewSource(seed)),
+		shape:   Ring,
+		rate:    1.0,
+		payload: make([]byte, 64),
+		sent:    make([]int, c.N()),
+	}
+	for _, o := range opts {
+		o(g)
+	}
+	return g
+}
+
+// OnRound submits this round's messages. Pass it to core.RunOptions.
+func (g *Generator) OnRound(round int) {
+	if round%2 != 0 {
+		return
+	}
+	if g.limit > 0 && round/2 >= g.limit {
+		return
+	}
+	for i := 0; i < g.c.N(); i++ {
+		p := mid.ProcID(i)
+		if !g.c.Active(p) {
+			continue
+		}
+		if g.perProc > 0 && g.sent[i] >= g.perProc {
+			continue
+		}
+		if g.rng.Float64() >= g.rate {
+			continue
+		}
+		if g.submit(p) {
+			g.sent[i]++
+			g.Submitted++
+		}
+	}
+}
+
+// Done reports whether every process has exhausted its per-process budget
+// (always false when no budget is set).
+func (g *Generator) Done() bool {
+	if g.perProc == 0 {
+		return false
+	}
+	for i := 0; i < g.c.N(); i++ {
+		if g.c.Active(mid.ProcID(i)) && g.sent[i] < g.perProc {
+			return false
+		}
+	}
+	return true
+}
+
+func (g *Generator) submit(p mid.ProcID) bool {
+	var err error
+	switch g.shape {
+	case Temporal:
+		_, err = g.c.SubmitCausal(p, g.payload)
+	default:
+		_, err = g.c.Submit(p, g.payload, g.deps(p))
+	}
+	return err == nil
+}
+
+func (g *Generator) deps(p mid.ProcID) mid.DepList {
+	n := g.c.N()
+	pick := func(q mid.ProcID) mid.DepList {
+		if q == p {
+			return nil
+		}
+		if s := g.c.Proc(p).Processed()[q]; s > 0 {
+			return mid.DepList{{Proc: q, Seq: s}}
+		}
+		return nil
+	}
+	switch g.shape {
+	case Independent:
+		return nil
+	case Ring:
+		return pick(mid.ProcID((int(p) + n - 1) % n))
+	case RandomPeer:
+		if n < 2 {
+			return nil
+		}
+		q := mid.ProcID(g.rng.Intn(n))
+		for q == p {
+			q = mid.ProcID(g.rng.Intn(n))
+		}
+		return pick(q)
+	default:
+		return nil
+	}
+}
+
+// Burst queues count messages per process immediately (outside the round
+// schedule), as Figure 6's fixed 480-message budget does; the protocol's
+// one-per-round pacing and flow control then spread them out.
+func Burst(c *core.Cluster, perProc int, payload []byte) error {
+	if payload == nil {
+		payload = make([]byte, 64)
+	}
+	for i := 0; i < c.N(); i++ {
+		for k := 0; k < perProc; k++ {
+			if _, err := c.Submit(mid.ProcID(i), payload, nil); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
