@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build test race vet check bench clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# race runs the concurrency-sensitive packages under the race detector:
+# the real-time runtime (node loop, UDP reader, Status/Snapshot sampling)
+# and the protocol core it drives.
+race:
+	$(GO) test -race ./internal/rt/... ./internal/core/...
+
+# check is the tier-1 gate: everything builds, vets clean, passes the
+# full suite, and the rt/core packages pass under -race.
+check: vet test race
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+clean:
+	$(GO) clean ./...

@@ -9,19 +9,39 @@
 // Lines typed on stdin are multicast to the group; messages processed at
 // this member — its own and its peers', in causal order — are printed.
 // With -chatter the node also generates synthetic traffic by itself.
+//
+// The node is observable while it runs: -metrics (default 127.0.0.1:0)
+// binds an HTTP listener serving
+//
+//	/metrics     live counters, gauges and histograms (Prometheus text)
+//	/status      this member's protocol state (view, vectors, buffers)
+//	/events      recent trace events (inbox drops and other omissions)
+//	/debug/vars  the same registry as expvar JSON
+//	/debug/pprof CPU/heap/goroutine profiles
+//
+// and a summary table of every instrument is printed on shutdown (SIGINT,
+// SIGTERM, stdin EOF, or leaving the group).
 package main
 
 import (
 	"bufio"
 	"context"
+	"expvar"
 	"flag"
 	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"urcgc/internal/core"
 	"urcgc/internal/mid"
+	"urcgc/internal/obs"
 	"urcgc/internal/rt"
 )
 
@@ -32,6 +52,7 @@ func main() {
 		k       = flag.Int("k", 3, "K parameter")
 		round   = flag.Duration("round", 20*time.Millisecond, "round duration")
 		chatter = flag.Duration("chatter", 0, "generate a synthetic message this often (0 = stdin only)")
+		metrics = flag.String("metrics", "127.0.0.1:0", "HTTP address for /metrics, /status, /events, /debug/vars and /debug/pprof (empty disables)")
 	)
 	flag.Parse()
 
@@ -43,6 +64,7 @@ func main() {
 	for i := range addrs {
 		addrs[i] = strings.TrimSpace(addrs[i])
 	}
+	reg := obs.New()
 	node, err := rt.NewUDPNode(rt.UDPConfig{
 		Config: core.Config{
 			N: len(addrs), K: *k, R: 2**k + 2, SelfExclusion: true,
@@ -50,21 +72,49 @@ func main() {
 		Self:          mid.ProcID(*self),
 		Peers:         addrs,
 		RoundDuration: *round,
+		Metrics:       reg,
+		Logf:          log.Printf,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "urcgc-node:", err)
 		os.Exit(1)
 	}
 	node.Start()
-	defer node.Stop()
 	fmt.Printf("member %d of %d up at %s (round %v)\n", *self, len(addrs), node.LocalAddr(), *round)
+
+	if *metrics != "" {
+		if err := serveMetrics(*metrics, reg, node); err != nil {
+			fmt.Fprintln(os.Stderr, "urcgc-node: metrics:", err)
+			node.Stop()
+			os.Exit(1)
+		}
+	}
+
+	// shutdown prints the observability summary exactly once, then stops
+	// the member.
+	shutdown := func(why string) {
+		fmt.Printf("\n--- %s: shutdown summary (member %d) ---\n", why, *self)
+		reg.WriteSummary(os.Stdout)
+		if evs := reg.Events().Events(); len(evs) > 0 {
+			fmt.Printf("--- recent events (%d of %d total) ---\n", len(evs), reg.Events().Total())
+			reg.Events().Write(os.Stdout)
+		}
+		node.Stop()
+	}
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	leftCh := make(chan core.LeaveReason, 1)
 
 	go func() {
 		for ind := range node.Indications() {
 			fmt.Printf("[%v] %s\n", ind.Msg.ID, ind.Msg.Payload)
 			if reason, left := node.Left(); left {
-				fmt.Printf("member left the group: %v\n", reason)
-				os.Exit(0)
+				select {
+				case leftCh <- reason:
+				default:
+				}
+				return
 			}
 		}
 	}()
@@ -85,19 +135,85 @@ func main() {
 		}()
 	}
 
-	sc := bufio.NewScanner(os.Stdin)
-	for sc.Scan() {
-		line := sc.Text()
-		if line == "" {
-			continue
+	stdinDone := make(chan struct{})
+	go func() {
+		defer close(stdinDone)
+		sc := bufio.NewScanner(os.Stdin)
+		for sc.Scan() {
+			line := sc.Text()
+			if line == "" {
+				continue
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			id, err := node.Send(ctx, []byte(line), nil)
+			cancel()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "send:", err)
+				continue
+			}
+			fmt.Printf("confirmed %v\n", id)
 		}
-		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-		id, err := node.Send(ctx, []byte(line), nil)
-		cancel()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "send:", err)
-			continue
+	}()
+
+	select {
+	case sig := <-sigCh:
+		shutdown(sig.String())
+	case reason := <-leftCh:
+		fmt.Printf("member left the group: %v\n", reason)
+		shutdown("left group")
+	case <-stdinDone:
+		if *chatter > 0 {
+			// Chatter-driven node: keep running until signalled or excluded.
+			select {
+			case sig := <-sigCh:
+				shutdown(sig.String())
+			case reason := <-leftCh:
+				fmt.Printf("member left the group: %v\n", reason)
+				shutdown("left group")
+			}
+			return
 		}
-		fmt.Printf("confirmed %v\n", id)
+		shutdown("stdin closed")
 	}
+}
+
+// serveMetrics binds the observability endpoint and reports its address.
+func serveMetrics(addr string, reg *obs.Registry, node *rt.UDPNode) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	reg.PublishExpvar("urcgc")
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/events", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		reg.Events().Write(w)
+	})
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), 2*time.Second)
+		defer cancel()
+		st, err := node.Status(ctx)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "running    %v\n", st.Running)
+		fmt.Fprintf(w, "processed  %v\n", st.Processed)
+		fmt.Fprintf(w, "alive      %v\n", st.Alive)
+		fmt.Fprintf(w, "history    %d\n", st.HistoryLen)
+		fmt.Fprintf(w, "waiting    %d\n", st.WaitingLen)
+		fmt.Fprintf(w, "pending    %d\n", st.Pending)
+		fmt.Fprintf(w, "stats      %+v\n", st.Stats)
+	})
+	go func() { _ = http.Serve(ln, mux) }()
+	fmt.Printf("observability at http://%s/metrics (also /status, /events, /debug/vars, /debug/pprof)\n", ln.Addr())
+	return nil
 }

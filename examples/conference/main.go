@@ -89,13 +89,10 @@ func main() {
 	for {
 		excluded := 0
 		for i := 0; i < participants-1; i++ {
-			var alive bool
 			sctx, scancel := context.WithTimeout(ctx, 2*time.Second)
-			err := cluster.Node(mid.ProcID(i)).Snapshot(sctx, func(p *core.Process) {
-				alive = p.View().Alive(5)
-			})
+			st, err := cluster.Node(mid.ProcID(i)).Status(sctx)
 			scancel()
-			if err == nil && !alive {
+			if err == nil && !st.Alive[5] {
 				excluded++
 			}
 		}
@@ -112,9 +109,11 @@ func main() {
 		float64(time.Since(crashAt).Milliseconds()))
 	fmt.Println("the discussion never paused: remarks 8..19 were confirmed during detection")
 
-	// Show one survivor's final knowledge.
-	_ = cluster.Node(0).Snapshot(ctx, func(p *core.Process) {
-		fmt.Printf("participant 0: processed %d remarks, view %s, history %d (cleaned by stability)\n",
-			p.Processed().Sum(), p.View(), p.HistoryLen())
-	})
+	// Show one survivor's final knowledge. Status is the supported way to
+	// read a live member from outside its loop goroutine: the sample is
+	// taken inside the loop and cloned, so no raw accessor races.
+	if st, err := cluster.Node(0).Status(ctx); err == nil {
+		fmt.Printf("participant 0: processed %d remarks, view %v, history %d (cleaned by stability)\n",
+			st.Processed.Sum(), st.Alive, st.HistoryLen)
+	}
 }

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"testing"
+
+	"urcgc/internal/mid"
+	"urcgc/internal/wire"
+)
+
+// TestOnRoundEndReportsGauges drives one process and checks the per-round
+// observation stream: rounds in order, history growing as messages are
+// processed, pending reflecting the outbox.
+func TestOnRoundEndReportsGauges(t *testing.T) {
+	cfg := Config{N: 2, K: 2, R: 5, SelfExclusion: true}
+	tp := &capture{}
+	var obs []RoundObservation
+	p, err := NewProcess(0, cfg, tp, Callbacks{
+		OnRoundEnd: func(o RoundObservation) { obs = append(obs, o) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Submit([]byte("a"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Submit([]byte("b"), nil); err != nil {
+		t.Fatal(err)
+	}
+	p.StartRound(0) // broadcasts+processes "a"; "b" still pending
+	p.StartRound(1)
+	p.StartRound(2) // broadcasts+processes "b"
+	if len(obs) != 3 {
+		t.Fatalf("got %d observations, want 3", len(obs))
+	}
+	if obs[0].Round != 0 || obs[1].Round != 1 || obs[2].Round != 2 {
+		t.Errorf("round order wrong: %+v", obs)
+	}
+	if obs[0].HistoryLen != 1 || obs[0].Pending != 1 {
+		t.Errorf("after round 0: %+v", obs[0])
+	}
+	if obs[2].HistoryLen != 2 || obs[2].Pending != 0 {
+		t.Errorf("after round 2: %+v", obs[2])
+	}
+}
+
+// TestOnCrashDeclaredAtCoordinator has the coordinator declare a silent
+// member crashed and checks the hook fires exactly once.
+func TestOnCrashDeclaredAtCoordinator(t *testing.T) {
+	cfg := Config{N: 2, K: 1, R: 3, SelfExclusion: true}
+	tp := &capture{}
+	var declared []mid.ProcID
+	p, err := NewProcess(0, cfg, tp, Callbacks{
+		OnCrashDeclared: func(q mid.ProcID) { declared = append(declared, q) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.StartRound(0) // p1 stays silent
+	p.StartRound(1) // K=1: attempts saturate, p1 declared crashed
+	if len(declared) != 1 || declared[0] != 1 {
+		t.Fatalf("declared = %v, want [1]", declared)
+	}
+	p.StartRound(2)
+	p.StartRound(3)
+	if len(declared) != 1 {
+		t.Errorf("crash re-declared: %v", declared)
+	}
+}
+
+// TestOnRecoverAndOnRetransmit checks both ends of a history recovery.
+func TestOnRecoverAndOnRetransmit(t *testing.T) {
+	cfg := Config{N: 3, K: 2, R: 5, SelfExclusion: true}
+
+	// Requester side: a decision proves p0 is behind on p1's sequence.
+	tp := &capture{}
+	var recovers []mid.ProcID
+	p, err := NewProcess(0, cfg, tp, Callbacks{
+		OnRecover: func(holder mid.ProcID, ranges int) {
+			if ranges != 1 {
+				t.Errorf("ranges = %d, want 1", ranges)
+			}
+			recovers = append(recovers, holder)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &wire.Decision{
+		Subrun:       0,
+		Coord:        1,
+		MaxProcessed: mid.SeqVector{0, 2, 0},
+		MostUpdated:  []mid.ProcID{mid.None, 1, mid.None},
+		MinWaiting:   mid.NewSeqVector(3),
+		CleanTo:      mid.NewSeqVector(3),
+		Attempts:     make([]uint8, 3),
+		Alive:        []bool{true, true, true},
+		Covered:      []bool{true, true, true},
+		FullGroup:    true,
+	}
+	p.Recv(1, d)
+	if len(recovers) != 1 || recovers[0] != 1 {
+		t.Fatalf("recovers = %v, want [1]", recovers)
+	}
+
+	// Responder side: p1 holds its own messages and answers a RECOVER.
+	tp1 := &capture{}
+	var answered []int
+	p1, err := NewProcess(1, cfg, tp1, Callbacks{
+		OnRetransmit: func(requester mid.ProcID, msgs int) {
+			if requester != 0 {
+				t.Errorf("requester = %v, want 0", requester)
+			}
+			answered = append(answered, msgs)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p1.Submit([]byte("x"), nil); err != nil {
+		t.Fatal(err)
+	}
+	p1.StartRound(0) // broadcasts and stores (1,1) in history
+	p1.Recv(0, &wire.Recover{Requester: 0, Wants: []wire.WantRange{{Proc: 1, From: 1, To: 1}}})
+	if len(answered) != 1 || answered[0] != 1 {
+		t.Fatalf("answered = %v, want [1]", answered)
+	}
+}

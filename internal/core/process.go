@@ -149,7 +149,9 @@ type Transport interface {
 }
 
 // Callbacks surface protocol events to the embedding runtime. Any field may
-// be nil.
+// be nil. Every callback runs synchronously on the goroutine driving the
+// process; the simulator path leaves the observability fields nil and is
+// untouched by them.
 type Callbacks struct {
 	// OnProcess is invoked exactly once per message this process
 	// processes, in processing (causal) order.
@@ -161,11 +163,43 @@ type Callbacks struct {
 	OnLeave func(reason LeaveReason)
 	// OnDecision is invoked for every fresh decision applied.
 	OnDecision func(d *wire.Decision)
+	// OnRoundEnd is invoked after every StartRound with the buffer gauges
+	// of the moment — the live counterpart of the Figure 6 history curves.
+	OnRoundEnd func(o RoundObservation)
+	// OnRecover is invoked for every RECOVER this process sends: holder is
+	// the most-updated member asked, ranges how many sequence ranges.
+	OnRecover func(holder mid.ProcID, ranges int)
+	// OnRetransmit is invoked for every RECOVER this process answers from
+	// history: requester is who asked, msgs how many messages were resent.
+	OnRetransmit func(requester mid.ProcID, msgs int)
+	// OnCrashDeclared is invoked when this process's view transitions a
+	// member from believed-alive to declared-crashed, whether it made the
+	// declaration as coordinator or adopted it from a decision.
+	OnCrashDeclared func(q mid.ProcID)
+}
+
+// RoundObservation is the per-round gauge sample handed to OnRoundEnd.
+type RoundObservation struct {
+	Round      int // the round just executed
+	HistoryLen int // history buffer length
+	WaitingLen int // waiting-list length
+	Pending    int // user messages queued, deferred by rounds or flow control
 }
 
 // Process is one urcgc protocol entity. It is driven by StartRound and
 // Recv from a single goroutine (the simulator loop or the runtime's node
 // goroutine); it is not safe for concurrent use.
+//
+// Concurrency contract: EVERY method — including the read accessors
+// Running, View, HistoryLen, History, WaitingLen, Processed and
+// PendingSubmissions, and reads of the exported Stats field — must run on
+// the goroutine that drives StartRound/Recv. Calling them from any other
+// goroutine races with applyDecision and cascade mutating the same state.
+// In the live runtime that goroutine is the node loop: off-loop readers go
+// through rt.Node.Snapshot/Status or rt.UDPNode.Snapshot/Status, which
+// hand the Process to a closure inside the loop. The deterministic
+// simulator is single-goroutine, so tests and experiments that call
+// accessors between Run steps are within the contract.
 type Process struct {
 	id  mid.ProcID
 	cfg Config
@@ -235,27 +269,32 @@ func NewProcess(id mid.ProcID, cfg Config, tp Transport, cb Callbacks) (*Process
 func (p *Process) ID() mid.ProcID { return p.id }
 
 // Running reports whether the process is still executing the protocol.
+// Loop-goroutine-only, like every accessor (see the concurrency contract).
 func (p *Process) Running() bool { return p.running }
 
-// View returns the process's local group view.
+// View returns the process's local group view. Loop-goroutine-only, and
+// the returned pointer must not be retained past the calling closure.
 func (p *Process) View() *group.View { return p.view }
 
 // HistoryLen returns the current history buffer length (Figure 6).
+// Loop-goroutine-only.
 func (p *Process) HistoryLen() int { return p.hist.Len() }
 
 // History exposes the history buffer for read access (recovery answers and
 // the client-server reply layer read processed messages from it). Callers
-// must not mutate it.
+// must not mutate it. Loop-goroutine-only.
 func (p *Process) History() *history.History { return p.hist }
 
-// WaitingLen returns the current waiting-list length.
+// WaitingLen returns the current waiting-list length. Loop-goroutine-only.
 func (p *Process) WaitingLen() int { return p.wait.Len() }
 
-// Processed returns the last-processed vector. Callers must not modify it.
+// Processed returns the last-processed vector. Callers must not modify it,
+// and must Clone it before letting it escape the loop goroutine.
 func (p *Process) Processed() mid.SeqVector { return p.tracker.Processed() }
 
 // PendingSubmissions returns the number of user messages queued but not yet
 // broadcast (they wait for their round or for flow control).
+// Loop-goroutine-only.
 func (p *Process) PendingSubmissions() int { return len(p.outbox) }
 
 // Submit queues a user message. Its causal dependencies are the explicit
@@ -348,6 +387,14 @@ func (p *Process) StartRound(r int) {
 		p.startSubrun(int64(r / 2))
 	} else {
 		p.decisionPhase()
+	}
+	if p.cb.OnRoundEnd != nil && p.running {
+		p.cb.OnRoundEnd(RoundObservation{
+			Round:      r,
+			HistoryLen: p.hist.Len(),
+			WaitingLen: p.wait.Len(),
+			Pending:    len(p.outbox),
+		})
 	}
 }
 
@@ -519,7 +566,7 @@ func (p *Process) applyDecision(d *wire.Decision) {
 	}
 
 	// Group composition: adopt the decision's crash declarations.
-	p.view.ApplyMask(d.Alive)
+	p.adoptMask(d.Alive)
 	if int(p.id) < len(d.Alive) && !d.Alive[p.id] {
 		// We are supposed dead: commit suicide.
 		p.leave(Suicide)
@@ -615,6 +662,9 @@ func (p *Process) requestRecovery(d *wire.Decision) {
 			continue
 		}
 		p.Stats.Recoveries++
+		if p.cb.OnRecover != nil {
+			p.cb.OnRecover(holder, len(wants))
+		}
 		p.tp.Send(holder, &wire.Recover{Requester: p.id, Wants: wants})
 	}
 }
@@ -628,7 +678,23 @@ func (p *Process) handleRecover(r *wire.Recover) {
 		return
 	}
 	p.Stats.Retransmits++
+	if p.cb.OnRetransmit != nil {
+		p.cb.OnRetransmit(r.Requester, len(msgs))
+	}
 	p.tp.Send(r.Requester, &wire.Retransmit{Responder: p.id, Msgs: msgs})
+}
+
+// adoptMask folds a decision's alive mask into the local view, reporting
+// every alive→crashed transition to the observer.
+func (p *Process) adoptMask(mask []bool) {
+	if p.cb.OnCrashDeclared != nil {
+		for q := 0; q < p.cfg.N && q < len(mask); q++ {
+			if !mask[q] && p.view.Alive(mid.ProcID(q)) {
+				p.cb.OnCrashDeclared(mid.ProcID(q))
+			}
+		}
+	}
+	p.view.ApplyMask(mask)
 }
 
 func (p *Process) leave(reason LeaveReason) {
@@ -680,7 +746,7 @@ func (p *Process) computeDecision() *wire.Decision {
 	// Group composition: start from local view folded with the previous
 	// decision's mask (crash knowledge only accrues), then count silence.
 	if prev != nil {
-		p.view.ApplyMask(prev.Alive)
+		p.adoptMask(prev.Alive)
 	}
 	heard := make([]bool, n)
 	for sender := range p.requests {
@@ -694,6 +760,9 @@ func (p *Process) computeDecision() *wire.Decision {
 	}
 	for _, crashed := range att.Observe(heard, p.view) {
 		p.view.MarkCrashed(crashed)
+		if p.cb.OnCrashDeclared != nil {
+			p.cb.OnCrashDeclared(crashed)
+		}
 	}
 	copy(d.Attempts, att.Counts())
 	copy(d.Alive, p.view.AliveMask())

@@ -1,0 +1,10 @@
+package obs
+
+import "expvar"
+
+// PublishExpvar exposes the registry's counters and gauges under the given
+// expvar name (served at /debug/vars). expvar.Publish panics on duplicate
+// names, so call this at most once per name per process.
+func (r *Registry) PublishExpvar(name string) {
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := New()
+	c := r.Counter("x_total")
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // ignored: counters are monotone
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if r.Counter("x_total") != c {
+		t.Error("get-or-create returned a different counter")
+	}
+	g := r.Gauge("depth")
+	g.Set(9)
+	g.Add(-2)
+	if got := g.Value(); got != 7 {
+		t.Errorf("gauge = %d, want 7", got)
+	}
+	g.SetMax(3)
+	if got := g.Value(); got != 7 {
+		t.Errorf("SetMax lowered the gauge to %d", got)
+	}
+	g.SetMax(11)
+	if got := g.Value(); got != 11 {
+		t.Errorf("SetMax = %d, want 11", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat_seconds", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if got := h.Sum(); got < 5.6 || got > 5.7 {
+		t.Errorf("sum = %g", got)
+	}
+	if q := h.Quantile(0.5); q != 0.1 {
+		t.Errorf("p50 = %g, want 0.1", q)
+	}
+	if q := h.Quantile(0.99); q != 1 {
+		t.Errorf("p99 = %g, want 1 (overflow clips to largest bound)", q)
+	}
+}
+
+func TestConcurrentInstruments(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c_total").Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h_seconds", nil).Observe(0.001)
+				r.Events().Addf("ev %d", j)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c_total").Value(); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("h_seconds", nil).Count(); got != 8000 {
+		t.Errorf("histogram count = %d, want 8000", got)
+	}
+	if got := r.Events().Total(); got != 8000 {
+		t.Errorf("events total = %d, want 8000", got)
+	}
+}
+
+func TestPrometheusExport(t *testing.T) {
+	r := New()
+	r.Counter(Labeled("drops_total", "node", "0")).Add(3)
+	r.Counter(Labeled("drops_total", "node", "1")).Add(4)
+	r.Gauge("hist_len").Set(12)
+	r.Histogram("rt_seconds", []float64{0.5, 1}).Observe(0.7)
+
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+
+	for _, want := range []string{
+		"# TYPE drops_total counter",
+		`drops_total{node="0"} 3`,
+		`drops_total{node="1"} 4`,
+		"# TYPE hist_len gauge",
+		"hist_len 12",
+		"# TYPE rt_seconds histogram",
+		`rt_seconds_bucket{le="0.5"} 0`,
+		`rt_seconds_bucket{le="1"} 1`,
+		`rt_seconds_bucket{le="+Inf"} 1`,
+		"rt_seconds_sum 0.7",
+		"rt_seconds_count 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("export missing %q in:\n%s", want, body)
+		}
+	}
+	// One TYPE line per base name even with multiple labelled series.
+	if n := strings.Count(body, "# TYPE drops_total"); n != 1 {
+		t.Errorf("%d TYPE lines for drops_total", n)
+	}
+}
+
+func TestSummaryAndSnapshot(t *testing.T) {
+	r := New()
+	r.Counter("a_total").Add(2)
+	r.Gauge("b").Set(-1)
+	r.Histogram("h_seconds", []float64{1}).Observe(0.5)
+	var sb strings.Builder
+	r.WriteSummary(&sb)
+	out := sb.String()
+	for _, want := range []string{"a_total", "2", "b", "-1", "count=1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q in:\n%s", want, out)
+		}
+	}
+	snap := r.Snapshot()
+	if snap["a_total"] != 2 || snap["b"] != -1 {
+		t.Errorf("snapshot = %v", snap)
+	}
+}
+
+func TestEventLogRing(t *testing.T) {
+	l := NewEventLog(4)
+	for i := 0; i < 6; i++ {
+		l.Addf("e%d", i)
+	}
+	evs := l.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events", len(evs))
+	}
+	if evs[0].Msg != "e2" || evs[3].Msg != "e5" {
+		t.Errorf("ring order wrong: %v %v", evs[0].Msg, evs[3].Msg)
+	}
+	if l.Total() != 6 {
+		t.Errorf("total = %d", l.Total())
+	}
+}
+
+func TestThrottle(t *testing.T) {
+	th := Throttle{Every: 50 * time.Millisecond}
+	if _, ok := th.Allow(); !ok {
+		t.Fatal("first call must pass")
+	}
+	suppressedSeen := false
+	for i := 0; i < 10; i++ {
+		if _, ok := th.Allow(); ok {
+			t.Fatal("throttle leaked inside the interval")
+		}
+	}
+	time.Sleep(60 * time.Millisecond)
+	if s, ok := th.Allow(); ok && s == 10 {
+		suppressedSeen = true
+	}
+	if !suppressedSeen {
+		t.Error("suppressed count not reported after interval")
+	}
+}

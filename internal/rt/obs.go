@@ -1,0 +1,148 @@
+package rt
+
+import (
+	"strconv"
+	"time"
+
+	"urcgc/internal/causal"
+	"urcgc/internal/core"
+	"urcgc/internal/mid"
+	"urcgc/internal/obs"
+	"urcgc/internal/wire"
+)
+
+// nodeObs holds one member's pre-resolved instruments, so hot paths touch
+// atomics instead of registry maps. A nil *nodeObs disables everything.
+type nodeObs struct {
+	reg *obs.Registry
+
+	processed   *obs.Counter
+	indDropped  *obs.Counter
+	inboxDrops  *obs.Counter
+	decisions   *obs.Counter
+	recoveries  *obs.Counter
+	retransmits *obs.Counter
+	crashDecls  *obs.Counter
+	discards    *obs.Counter
+
+	histLen    *obs.Gauge
+	waitLen    *obs.Gauge
+	pendingLen *obs.Gauge
+	inboxDepth *obs.Gauge
+
+	decisionLat *obs.Histogram
+	confirmLat  *obs.Histogram
+
+	// subrunStart is the wall-clock open of the member's current subrun,
+	// written and read only on the node loop goroutine.
+	subrunStart time.Time
+}
+
+// newNodeObs resolves the per-member instrument set; nil registry → nil.
+func newNodeObs(reg *obs.Registry, id mid.ProcID) *nodeObs {
+	if reg == nil {
+		return nil
+	}
+	node := strconv.Itoa(int(id))
+	l := func(name string) string { return obs.Labeled(name, "node", node) }
+	return &nodeObs{
+		reg:         reg,
+		processed:   reg.Counter(l("rt_processed_total")),
+		indDropped:  reg.Counter(l("rt_indications_dropped_total")),
+		inboxDrops:  reg.Counter(l("rt_inbox_dropped_total")),
+		decisions:   reg.Counter(l("rt_decisions_total")),
+		recoveries:  reg.Counter(l("core_recoveries_total")),
+		retransmits: reg.Counter(l("core_retransmits_total")),
+		crashDecls:  reg.Counter(l("core_crash_declarations_total")),
+		discards:    reg.Counter(l("core_discards_total")),
+		histLen:     reg.Gauge(l("core_history_len")),
+		waitLen:     reg.Gauge(l("core_waiting_len")),
+		pendingLen:  reg.Gauge(l("core_pending_len")),
+		inboxDepth:  reg.Gauge(l("rt_inbox_depth")),
+		decisionLat: reg.Histogram(l("rt_decision_latency_seconds"), obs.DurationBuckets),
+		confirmLat:  reg.Histogram(l("rt_confirm_latency_seconds"), obs.DurationBuckets),
+	}
+}
+
+// install extends a member's protocol callbacks with the observability
+// hooks. The passed callbacks' own fields keep running first. All hooks
+// execute on the node loop goroutine, like every core callback.
+func (o *nodeObs) install(cb core.Callbacks) core.Callbacks {
+	if o == nil {
+		return cb
+	}
+	prevProcess, prevDecision := cb.OnProcess, cb.OnDecision
+	cb.OnProcess = func(m *causal.Message) {
+		if prevProcess != nil {
+			prevProcess(m)
+		}
+		o.processed.Inc()
+	}
+	cb.OnDecision = func(d *wire.Decision) {
+		if prevDecision != nil {
+			prevDecision(d)
+		}
+		o.decisions.Inc()
+		if !o.subrunStart.IsZero() {
+			o.decisionLat.ObserveSince(o.subrunStart)
+		}
+	}
+	cb.OnRoundEnd = func(ro core.RoundObservation) {
+		o.histLen.Set(int64(ro.HistoryLen))
+		o.waitLen.Set(int64(ro.WaitingLen))
+		o.pendingLen.Set(int64(ro.Pending))
+	}
+	cb.OnRecover = func(mid.ProcID, int) { o.recoveries.Inc() }
+	cb.OnRetransmit = func(_ mid.ProcID, msgs int) { o.retransmits.Add(int64(msgs)) }
+	cb.OnCrashDeclared = func(mid.ProcID) { o.crashDecls.Inc() }
+	prevDiscard := cb.OnDiscard
+	cb.OnDiscard = func(m *causal.Message) {
+		if prevDiscard != nil {
+			prevDiscard(m)
+		}
+		o.discards.Inc()
+	}
+	return cb
+}
+
+// markRound notes the subrun open for decision-latency measurement. Loop
+// goroutine only.
+func (o *nodeObs) markRound(r int) {
+	if o == nil || r%2 != 0 {
+		return
+	}
+	o.subrunStart = time.Now()
+}
+
+// indicationDropped counts a slow consumer losing an indication.
+func (o *nodeObs) indicationDropped() {
+	if o != nil {
+		o.indDropped.Inc()
+	}
+}
+
+// inboxDropped counts a datagram refused by a full inbox and records the
+// by-design omission as a trace event, so the recovery path is verifiable
+// from the log rather than assumed.
+func (o *nodeObs) inboxDropped(id mid.ProcID) {
+	if o == nil {
+		return
+	}
+	o.inboxDrops.Inc()
+	o.reg.Events().Addf("inbox-drop node=%d (full inbox: omission, recovered from history)", id)
+}
+
+// observeConfirm records one Rq→Conf latency (the paper's delay, wall-
+// clock edition). Safe from any goroutine.
+func (o *nodeObs) observeConfirm(t0 time.Time) {
+	if o != nil {
+		o.confirmLat.ObserveSince(t0)
+	}
+}
+
+// sampleInbox publishes the current inbox depth. Safe from any goroutine.
+func (o *nodeObs) sampleInbox(depth int) {
+	if o != nil {
+		o.inboxDepth.Set(int64(depth))
+	}
+}

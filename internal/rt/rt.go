@@ -18,6 +18,7 @@ import (
 	"urcgc/internal/causal"
 	"urcgc/internal/core"
 	"urcgc/internal/mid"
+	"urcgc/internal/obs"
 	"urcgc/internal/wire"
 )
 
@@ -33,6 +34,10 @@ type Config struct {
 	InboxDepth int
 	// IndicationDepth bounds each session's indication queue. Default 4096.
 	IndicationDepth int
+	// Metrics, when non-nil, receives live counters, gauges and
+	// histograms for every node (per-node series carry a node label) and
+	// trace events for by-design omissions. Nil costs nothing.
+	Metrics *obs.Registry
 }
 
 func (c *Config) fill() {
@@ -118,6 +123,12 @@ func (c *Cluster) N() int { return c.cfg.N }
 // UDP runtime, whose members run on separate machines, uses free-running
 // clocks instead and relies on the protocol's omission recovery.
 func (c *Cluster) clock() {
+	var rounds *obs.Counter
+	var barrier *obs.Histogram
+	if c.cfg.Metrics != nil {
+		rounds = c.cfg.Metrics.Counter("rt_rounds_total")
+		barrier = c.cfg.Metrics.Histogram("rt_round_barrier_seconds", obs.DurationBuckets)
+	}
 	round := 0
 	for {
 		start := time.Now()
@@ -126,11 +137,13 @@ func (c *Cluster) clock() {
 		dones := make([]chan struct{}, len(c.nodes))
 		for i, n := range c.nodes {
 			n := n
+			n.obs.sampleInbox(len(n.inbox))
 			done := make(chan struct{})
 			dones[i] = done
 			select {
 			case n.inbox <- func() {
 				if !n.Killed() {
+					n.obs.markRound(r)
 					n.proc.StartRound(r)
 				}
 				close(done)
@@ -145,6 +158,10 @@ func (c *Cluster) clock() {
 			case <-c.stopCh:
 				return
 			}
+		}
+		if rounds != nil {
+			rounds.Inc()
+			barrier.ObserveSince(start)
 		}
 		if rest := c.cfg.RoundDuration - time.Since(start); rest > 0 {
 			select {
@@ -162,6 +179,7 @@ type Node struct {
 	c    *Cluster
 	id   mid.ProcID
 	proc *core.Process
+	obs  *nodeObs
 
 	inbox chan func()
 	ind   chan Indication
@@ -177,6 +195,7 @@ func newNode(c *Cluster, id mid.ProcID) *Node {
 	return &Node{
 		c:       c,
 		id:      id,
+		obs:     newNodeObs(c.cfg.Metrics, id),
 		inbox:   make(chan func(), c.cfg.InboxDepth),
 		ind:     make(chan Indication, c.cfg.IndicationDepth),
 		waiters: make(map[mid.MID]chan struct{}),
@@ -195,6 +214,7 @@ func (n *Node) init() error {
 			select {
 			case n.ind <- Indication{Msg: *m}:
 			default: // slow consumer: indication dropped, like a full SAP queue
+				n.obs.indicationDropped()
 			}
 		},
 		OnLeave: func(r core.LeaveReason) {
@@ -207,7 +227,7 @@ func (n *Node) init() error {
 			n.mu.Unlock()
 		},
 	}
-	p, err := core.NewProcess(n.id, n.c.cfg.Config, meshTransport{n: n}, cb)
+	p, err := core.NewProcess(n.id, n.c.cfg.Config, meshTransport{n: n}, n.obs.install(cb))
 	if err != nil {
 		return err
 	}
@@ -225,6 +245,7 @@ func (n *Node) enqueue(fn func()) bool {
 		n.mu.Lock()
 		n.dropped++
 		n.mu.Unlock()
+		n.obs.inboxDropped(n.id)
 		return false
 	}
 }
@@ -295,6 +316,7 @@ func (n *Node) Send(ctx context.Context, payload []byte, deps mid.DepList) (mid.
 		id  mid.MID
 		err error
 	}
+	t0 := time.Now()
 	resCh := make(chan result, 1)
 	confirm := make(chan struct{})
 	if err := n.enqueueWait(ctx, func() {
@@ -333,6 +355,7 @@ func (n *Node) Send(ctx context.Context, payload []byte, deps mid.DepList) (mid.
 	if _, left := n.Left(); left {
 		return r.id, fmt.Errorf("rt: member %d left the group", n.id)
 	}
+	n.obs.observeConfirm(t0)
 	return r.id, nil
 }
 
@@ -343,6 +366,7 @@ func (n *Node) SendCausal(ctx context.Context, payload []byte) (mid.MID, error) 
 		id  mid.MID
 		err error
 	}
+	t0 := time.Now()
 	resCh := make(chan result, 1)
 	confirm := make(chan struct{})
 	if err := n.enqueueWait(ctx, func() {
@@ -378,11 +402,26 @@ func (n *Node) SendCausal(ctx context.Context, payload []byte) (mid.MID, error) 
 	case <-ctx.Done():
 		return r.id, ctx.Err()
 	}
+	n.obs.observeConfirm(t0)
 	return r.id, nil
+}
+
+// Dropped returns how many datagrams this node's inbox refused because it
+// was full — omissions by design, which the protocol recovers from. Safe
+// from any goroutine.
+func (n *Node) Dropped() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.dropped
 }
 
 // Snapshot runs fn inside the node goroutine with safe access to the
 // protocol entity, and waits for it. Use it for reads (views, vectors).
+// The core.Process accessors are loop-goroutine-only; fn runs on that
+// goroutine, so accessors may be called freely inside it, but nothing
+// reached through p (views, vectors, history) may be retained after fn
+// returns without cloning. For the common fields, Status packages a
+// cloned, race-free sample.
 func (n *Node) Snapshot(ctx context.Context, fn func(p *core.Process)) error {
 	done := make(chan struct{})
 	if err := n.enqueueWait(ctx, func() {

@@ -1,0 +1,60 @@
+package rt
+
+import (
+	"context"
+
+	"urcgc/internal/core"
+	"urcgc/internal/mid"
+)
+
+// Status is a consistent sample of one live member's protocol state,
+// captured inside the node loop goroutine and cloned, so it is safe to
+// hold and read from anywhere. It is the supported way to observe a live
+// member; the raw core.Process accessors are loop-goroutine-only (see the
+// core.Process concurrency contract).
+type Status struct {
+	// Running reports whether the member still executes the protocol.
+	Running bool
+	// HistoryLen is the history buffer length (the Figure 6 gauge).
+	HistoryLen int
+	// WaitingLen is the waiting-list length.
+	WaitingLen int
+	// Pending is the number of user messages queued for future rounds.
+	Pending int
+	// Processed is a clone of the last-processed vector.
+	Processed mid.SeqVector
+	// Alive is a clone of the member's view: Alive[q] reports whether it
+	// believes member q alive.
+	Alive []bool
+	// Stats is a copy of the protocol activity counters.
+	Stats core.Stats
+}
+
+// statusOf samples p. Must run on the goroutine driving p.
+func statusOf(p *core.Process) Status {
+	return Status{
+		Running:    p.Running(),
+		HistoryLen: p.HistoryLen(),
+		WaitingLen: p.WaitingLen(),
+		Pending:    p.PendingSubmissions(),
+		Processed:  p.Processed().Clone(),
+		Alive:      append([]bool(nil), p.View().AliveMask()...),
+		Stats:      p.Stats,
+	}
+}
+
+// Status captures a race-free sample of the member's protocol state by
+// running inside the node goroutine.
+func (n *Node) Status(ctx context.Context) (Status, error) {
+	var s Status
+	err := n.Snapshot(ctx, func(p *core.Process) { s = statusOf(p) })
+	return s, err
+}
+
+// Status captures a race-free sample of the member's protocol state by
+// running inside the node goroutine.
+func (n *UDPNode) Status(ctx context.Context) (Status, error) {
+	var s Status
+	err := n.Snapshot(ctx, func(p *core.Process) { s = statusOf(p) })
+	return s, err
+}

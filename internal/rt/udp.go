@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/binary"
 	"fmt"
+	"log"
 	"net"
 	"sync"
 	"time"
@@ -11,6 +12,7 @@ import (
 	"urcgc/internal/causal"
 	"urcgc/internal/core"
 	"urcgc/internal/mid"
+	"urcgc/internal/obs"
 	"urcgc/internal/wire"
 )
 
@@ -32,6 +34,14 @@ type UDPConfig struct {
 	InboxDepth int
 	// IndicationDepth bounds the indication queue (default 4096).
 	IndicationDepth int
+	// Metrics, when non-nil, receives live counters, gauges and
+	// histograms for this member plus socket-level send/recv/drop
+	// accounting. Nil costs nothing.
+	Metrics *obs.Registry
+	// Logf receives throttled operator-visible warnings: malformed or
+	// oversize datagrams, socket errors — omissions that would otherwise
+	// be silently recovered and invisible. Nil means log.Printf.
+	Logf func(format string, args ...any)
 }
 
 func (c *UDPConfig) fill() {
@@ -52,6 +62,8 @@ type UDPNode struct {
 	proc  *core.Process
 	conn  *net.UDPConn
 	peers []*net.UDPAddr
+	obs   *nodeObs
+	sock  *sockObs
 
 	inbox chan func()
 	ind   chan Indication
@@ -63,6 +75,57 @@ type UDPNode struct {
 	stopOnce sync.Once
 	stopCh   chan struct{}
 	wg       sync.WaitGroup
+
+	warnTh obs.Throttle // rate-limits operator-visible warnings
+}
+
+// warnf logs an operator-visible warning at a throttled rate (at most one
+// line per second), appending how many similar warnings were suppressed in
+// between so nothing is silently lost.
+func (n *UDPNode) warnf(format string, args ...any) {
+	suppressed, ok := n.warnTh.Allow()
+	if !ok {
+		return
+	}
+	if suppressed > 0 {
+		format += fmt.Sprintf(" [+%d warnings suppressed]", suppressed)
+	}
+	n.cfg.Logf("rt[%d]: "+format, append([]any{int(n.cfg.Self)}, args...)...)
+}
+
+// sockObs accounts socket-level traffic and the reader's silent discards.
+// A nil *sockObs disables the counters but not the throttled logging.
+type sockObs struct {
+	recvDatagrams *obs.Counter
+	recvBytes     *obs.Counter
+	sendDatagrams *obs.Counter
+	sendBytes     *obs.Counter
+	sendErrors    *obs.Counter
+	dropShort     *obs.Counter
+	dropBadSrc    *obs.Counter
+	dropDecode    *obs.Counter
+	dropOversize  *obs.Counter
+	dropReadErr   *obs.Counter
+	ticksSkipped  *obs.Counter
+}
+
+func newSockObs(reg *obs.Registry) *sockObs {
+	if reg == nil {
+		return nil
+	}
+	return &sockObs{
+		recvDatagrams: reg.Counter("udp_recv_datagrams_total"),
+		recvBytes:     reg.Counter("udp_recv_bytes_total"),
+		sendDatagrams: reg.Counter("udp_send_datagrams_total"),
+		sendBytes:     reg.Counter("udp_send_bytes_total"),
+		sendErrors:    reg.Counter("udp_send_errors_total"),
+		dropShort:     reg.Counter("udp_drop_short_total"),
+		dropBadSrc:    reg.Counter("udp_drop_badsrc_total"),
+		dropDecode:    reg.Counter("udp_drop_decode_total"),
+		dropOversize:  reg.Counter("udp_drop_oversize_total"),
+		dropReadErr:   reg.Counter("udp_drop_readerr_total"),
+		ticksSkipped:  reg.Counter("udp_ticks_skipped_total"),
+	}
 }
 
 // maxDatagram bounds received datagrams. The urcgc PDUs for paper-scale
@@ -84,11 +147,16 @@ func NewUDPNode(cfg UDPConfig) (*UDPNode, error) {
 	}
 	n := &UDPNode{
 		cfg:     cfg,
+		obs:     newNodeObs(cfg.Metrics, cfg.Self),
+		sock:    newSockObs(cfg.Metrics),
 		inbox:   make(chan func(), cfg.InboxDepth),
 		ind:     make(chan Indication, cfg.IndicationDepth),
 		waiters: make(map[mid.MID]chan struct{}),
 		stopCh:  make(chan struct{}),
 		peers:   make([]*net.UDPAddr, cfg.N),
+	}
+	if n.cfg.Logf == nil {
+		n.cfg.Logf = log.Printf
 	}
 	for i, p := range cfg.Peers {
 		addr, err := net.ResolveUDPAddr("udp", p)
@@ -112,7 +180,8 @@ func NewUDPNode(cfg UDPConfig) (*UDPNode, error) {
 			n.mu.Unlock()
 			select {
 			case n.ind <- Indication{Msg: *m}:
-			default:
+			default: // slow consumer: indication dropped, like a full SAP queue
+				n.obs.indicationDropped()
 			}
 		},
 		OnLeave: func(r core.LeaveReason) {
@@ -125,7 +194,7 @@ func NewUDPNode(cfg UDPConfig) (*UDPNode, error) {
 			n.mu.Unlock()
 		},
 	}
-	proc, err := core.NewProcess(cfg.Self, cfg.Config, udpTransport{n: n}, cb)
+	proc, err := core.NewProcess(cfg.Self, cfg.Config, udpTransport{n: n}, n.obs.install(cb))
 	if err != nil {
 		conn.Close()
 		return nil, err
@@ -173,6 +242,7 @@ func (n *UDPNode) Send(ctx context.Context, payload []byte, deps mid.DepList) (m
 		id  mid.MID
 		err error
 	}
+	t0 := time.Now()
 	resCh := make(chan result, 1)
 	confirm := make(chan struct{})
 	select {
@@ -208,6 +278,7 @@ func (n *UDPNode) Send(ctx context.Context, payload []byte, deps mid.DepList) (m
 	case <-ctx.Done():
 		return r.id, ctx.Err()
 	}
+	n.obs.observeConfirm(t0)
 	return r.id, nil
 }
 
@@ -245,6 +316,10 @@ func (n *UDPNode) loop() {
 func (n *UDPNode) clock() {
 	t := time.NewTicker(n.cfg.RoundDuration)
 	defer t.Stop()
+	var rounds *obs.Counter
+	if n.cfg.Metrics != nil {
+		rounds = n.cfg.Metrics.Counter("rt_rounds_total")
+	}
 	round := 0
 	for {
 		select {
@@ -253,40 +328,78 @@ func (n *UDPNode) clock() {
 		case <-t.C:
 			r := round
 			round++
+			n.obs.sampleInbox(len(n.inbox))
 			select {
-			case n.inbox <- func() { n.proc.StartRound(r) }:
+			case n.inbox <- func() { n.obs.markRound(r); n.proc.StartRound(r) }:
+				if rounds != nil {
+					rounds.Inc()
+				}
 			default: // overloaded: skipping a tick is an omission
+				if n.sock != nil {
+					n.sock.ticksSkipped.Inc()
+				}
+				n.warnf("round tick %d skipped: inbox full (overload omission)", r)
 			}
 		}
 	}
 }
 
 func (n *UDPNode) reader() {
-	buf := make([]byte, maxDatagram)
+	// One byte of slack past maxDatagram distinguishes an exactly-full
+	// datagram from one the kernel truncated to fit the buffer.
+	buf := make([]byte, maxDatagram+1)
 	for {
-		sz, _, err := n.conn.ReadFromUDP(buf)
+		sz, from, err := n.conn.ReadFromUDP(buf)
 		if err != nil {
 			select {
 			case <-n.stopCh:
 				return
 			default:
+				if n.sock != nil {
+					n.sock.dropReadErr.Inc()
+				}
+				n.warnf("socket read error (datagram lost): %v", err)
 				continue // transient read error: a datagram lost
 			}
 		}
+		if n.sock != nil {
+			n.sock.recvDatagrams.Inc()
+			n.sock.recvBytes.Add(int64(sz))
+		}
+		if sz > maxDatagram {
+			if n.sock != nil {
+				n.sock.dropOversize.Inc()
+			}
+			n.warnf("oversize datagram from %v truncated past %d bytes: dropped", from, maxDatagram)
+			continue
+		}
 		if sz < 4 {
+			if n.sock != nil {
+				n.sock.dropShort.Inc()
+			}
+			n.warnf("runt datagram (%d bytes) from %v: dropped", sz, from)
 			continue
 		}
 		src := mid.ProcID(int32(binary.BigEndian.Uint32(buf[:4])))
 		if src < 0 || int(src) >= n.cfg.N {
+			if n.sock != nil {
+				n.sock.dropBadSrc.Inc()
+			}
+			n.warnf("datagram from %v claims member %d outside group of %d: dropped", from, src, n.cfg.N)
 			continue
 		}
 		pdu, err := wire.Unmarshal(append([]byte(nil), buf[4:sz]...))
 		if err != nil {
+			if n.sock != nil {
+				n.sock.dropDecode.Inc()
+			}
+			n.warnf("undecodable datagram from %v (%d bytes): %v", from, sz, err)
 			continue // malformed datagram: dropped
 		}
 		select {
 		case n.inbox <- func() { n.proc.Recv(src, pdu) }:
 		default: // inbox full: dropped, like any datagram
+			n.obs.inboxDropped(n.cfg.Self)
 		}
 	}
 }
@@ -305,7 +418,17 @@ func (t udpTransport) Send(dst mid.ProcID, pdu wire.PDU) {
 	buf := make([]byte, 4+len(body))
 	binary.BigEndian.PutUint32(buf[:4], uint32(t.n.cfg.Self))
 	copy(buf[4:], body)
-	_, _ = t.n.conn.WriteToUDP(buf, t.n.peers[dst]) // loss is an omission
+	if _, err := t.n.conn.WriteToUDP(buf, t.n.peers[dst]); err != nil {
+		// Loss is an omission the protocol repairs; count it anyway.
+		if t.n.sock != nil {
+			t.n.sock.sendErrors.Inc()
+		}
+		return
+	}
+	if t.n.sock != nil {
+		t.n.sock.sendDatagrams.Inc()
+		t.n.sock.sendBytes.Add(int64(len(buf)))
+	}
 }
 
 func (t udpTransport) Broadcast(pdu wire.PDU) {
