@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench clean
+.PHONY: all build test race vet check bench bench-smoke clean
 
 all: check
 
@@ -20,10 +20,19 @@ race:
 	$(GO) test -race ./internal/rt/... ./internal/core/...
 
 # check is the tier-1 gate: everything builds, vets clean, passes the
-# full suite, and the rt/core packages pass under -race.
-check: vet test race
+# full suite, the rt/core packages pass under -race, and every benchmark
+# body still runs (one iteration each).
+check: vet test race bench-smoke
 
+# bench runs the full baseline suite at real benchtimes and refreshes
+# BENCH_BASELINE.json (the previous recording is preserved under
+# "previous" for before/after comparison). Expect a few minutes.
 bench:
+	$(GO) run ./cmd/urcgc-bench -baseline BENCH_BASELINE.json
+
+# bench-smoke executes every benchmark once — a compile-and-run gate,
+# not a measurement.
+bench-smoke:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
 
 clean:

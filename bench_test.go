@@ -3,168 +3,57 @@
 // ablations of its design choices. Custom metrics carry the scientific
 // quantities: delay_rtd, T_rtd, ctlmsgs/subrun, histpeak, and so on.
 //
+// The figure and hot-path benchmark bodies live in internal/benchsuite so
+// cmd/urcgc-bench can run the identical code to record BENCH_BASELINE.json;
+// this file wraps them for `go test -bench` and keeps the ablation
+// sub-benchmarks, which are not part of the recorded baseline.
+//
 // Run everything with:
 //
 //	go test -bench=. -benchmem
 package urcgc
 
 import (
-	"context"
-	"math/rand"
 	"testing"
-	"time"
 
-	"urcgc/internal/causal"
-	"urcgc/internal/cbcast"
+	"urcgc/internal/benchsuite"
 	"urcgc/internal/core"
-	"urcgc/internal/experiments"
 	"urcgc/internal/fault"
-	"urcgc/internal/history"
 	"urcgc/internal/mid"
-	"urcgc/internal/rt"
 	"urcgc/internal/sim"
-	"urcgc/internal/vclock"
-	"urcgc/internal/waitlist"
-	"urcgc/internal/wire"
 )
 
 // ---- Figure 4: mean end-to-end delay vs offered load ----
 
-func benchFig4(b *testing.B, inj func() fault.Injector) {
-	b.ReportAllocs()
-	var lastD float64
-	for i := 0; i < b.N; i++ {
-		var fi fault.Injector
-		if inj != nil {
-			fi = inj()
-		}
-		c, err := core.NewCluster(core.ClusterConfig{
-			Config:   core.Config{N: 10, K: 3, R: 8, SelfExclusion: true},
-			Seed:     int64(i) + 1,
-			Injector: fi,
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		rng := rand.New(rand.NewSource(int64(i) + 7))
-		_, err = c.Run(core.RunOptions{
-			MaxRounds: 2*120 + 200, MinRounds: 2 * 120,
-			OnRound: func(round int) {
-				if round%2 != 0 || round/2 >= 120 {
-					return
-				}
-				for p := 0; p < c.N(); p++ {
-					pp := mid.ProcID(p)
-					if c.Active(pp) && rng.Float64() < 1.0 {
-						_, _ = c.Submit(pp, make([]byte, 64), nil)
-					}
-				}
-			},
-			StopWhenQuiescent: true, DrainSubruns: 4,
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		lastD = c.Delay.MeanRTD()
-	}
-	b.ReportMetric(lastD, "delay_rtd")
-}
-
-func BenchmarkFig4Reliable(b *testing.B) { benchFig4(b, nil) }
-
-func BenchmarkFig4Crashes(b *testing.B) {
-	benchFig4(b, func() fault.Injector {
-		return fault.Multi{
-			fault.Crash{Proc: 9, At: sim.StartOfSubrun(20)},
-			fault.Crash{Proc: 8, At: sim.StartOfSubrun(45)},
-			fault.Crash{Proc: 7, At: sim.StartOfSubrun(70)},
-			fault.Crash{Proc: 6, At: sim.StartOfSubrun(95)},
-		}
-	})
-}
-
-func BenchmarkFig4Omit500(b *testing.B) {
-	benchFig4(b, func() fault.Injector { return &fault.EveryNth{N: 500, Side: fault.AtSend} })
-}
-
-func BenchmarkFig4Omit100(b *testing.B) {
-	benchFig4(b, func() fault.Injector { return &fault.EveryNth{N: 100, Side: fault.AtSend} })
-}
+func BenchmarkFig4Reliable(b *testing.B) { benchsuite.Fig4Reliable(b) }
+func BenchmarkFig4Crashes(b *testing.B)  { benchsuite.Fig4Crashes(b) }
+func BenchmarkFig4Omit500(b *testing.B)  { benchsuite.Fig4Omit500(b) }
+func BenchmarkFig4Omit100(b *testing.B)  { benchsuite.Fig4Omit100(b) }
 
 // ---- Figure 5: agreement time vs consecutive coordinator crashes ----
 
-func BenchmarkFig5(b *testing.B) {
-	b.ReportAllocs()
-	var res experiments.Fig5Result
-	for i := 0; i < b.N; i++ {
-		var err error
-		res, err = experiments.Fig5(experiments.Fig5Config{N: 10, K: 3, Fs: []int{0, 2}, Seed: int64(i) + 1})
-		if err != nil {
-			b.Fatal(err)
-		}
-	}
-	if len(res.Points) == 2 {
-		b.ReportMetric(res.Points[0].URCGCMeasured, "urcgcT(f=0)_rtd")
-		b.ReportMetric(res.Points[1].URCGCMeasured, "urcgcT(f=2)_rtd")
-		b.ReportMetric(res.Points[0].CBCASTMeasured, "cbcastT(f=0)_rtd")
-		b.ReportMetric(res.Points[1].CBCASTMeasured, "cbcastT(f=2)_rtd")
-	}
-}
+func BenchmarkFig5(b *testing.B) { benchsuite.Fig5(b) }
 
 // ---- Table 1: control messages and sizes ----
 
-func BenchmarkTable1(b *testing.B) {
-	b.ReportAllocs()
-	var res experiments.Table1Result
-	for i := 0; i < b.N; i++ {
-		var err error
-		res, err = experiments.Table1(experiments.Table1Config{Ns: []int{15}, K: 3, Subruns: 40, Seed: int64(i) + 1})
-		if err != nil {
-			b.Fatal(err)
-		}
-	}
-	for _, row := range res.Rows {
-		if row.Protocol == "urcgc" && row.Condition == "reliable" {
-			b.ReportMetric(row.MsgsPerSubrun, "urcgc_ctl/subrun")
-			b.ReportMetric(row.MeanSize, "urcgc_ctlB")
-		}
-		if row.Protocol == "cbcast" && row.Condition == "crash" {
-			b.ReportMetric(row.MsgsPerSubrun, "cbcast_crash_ctl/subrun")
-		}
-	}
-}
+func BenchmarkTable1(b *testing.B) { benchsuite.Table1(b) }
 
 // ---- Figure 6: history length over time ----
 
-func benchFig6(b *testing.B, flow bool) {
-	b.ReportAllocs()
-	var res experiments.Fig6Result
-	cfg := experiments.Fig6Config{
-		N: 40, Messages: 480, Ks: []int{3}, Threshold: 320, FailWindowRTD: 5, Seed: 1,
-	}
-	for i := 0; i < b.N; i++ {
-		var err error
-		if flow {
-			res, err = experiments.Fig6b(cfg)
-		} else {
-			res, err = experiments.Fig6a(cfg)
-		}
-		if err != nil {
-			b.Fatal(err)
-		}
-	}
-	for _, curve := range res.Curves {
-		if curve.Faulty {
-			b.ReportMetric(curve.Peak, "faulty_histpeak")
-			b.ReportMetric(curve.DoneRTD, "faulty_done_rtd")
-		} else {
-			b.ReportMetric(curve.Peak, "reliable_histpeak")
-		}
-	}
-}
+func BenchmarkFig6a(b *testing.B) { benchsuite.Fig6a(b) }
+func BenchmarkFig6b(b *testing.B) { benchsuite.Fig6b(b) }
 
-func BenchmarkFig6a(b *testing.B) { benchFig6(b, false) }
-func BenchmarkFig6b(b *testing.B) { benchFig6(b, true) }
+// ---- Hot-path micro-benchmarks ----
+
+func BenchmarkDeliveryReadyTest(b *testing.B)         { benchsuite.DeliveryReadyTest(b) }
+func BenchmarkHistoryStoreAndClean(b *testing.B)      { benchsuite.HistoryStoreAndClean(b) }
+func BenchmarkWaitlistCascade(b *testing.B)           { benchsuite.WaitlistCascade(b) }
+func BenchmarkWireMarshalDecision(b *testing.B)       { benchsuite.WireMarshalDecision(b) }
+func BenchmarkWireMarshalAppendDecision(b *testing.B) { benchsuite.WireMarshalAppendDecision(b) }
+func BenchmarkWireUnmarshalData(b *testing.B)         { benchsuite.WireUnmarshalData(b) }
+func BenchmarkVectorClockDeliverable(b *testing.B)    { benchsuite.VectorClockDeliverable(b) }
+func BenchmarkCBCASTRun(b *testing.B)                 { benchsuite.CBCASTRun(b) }
+func BenchmarkLiveConfirmLatency(b *testing.B)        { benchsuite.LiveConfirmLatency(b) }
 
 // ---- Ablations ----
 
@@ -311,177 +200,5 @@ func BenchmarkAblationCausalLabelling(b *testing.B) {
 			}
 			b.ReportMetric(d, "delay_rtd")
 		})
-	}
-}
-
-// ---- Hot-path micro-benchmarks ----
-
-func BenchmarkDeliveryReadyTest(b *testing.B) {
-	tr := causal.NewTracker(40)
-	for q := 0; q < 40; q++ {
-		for s := mid.Seq(1); s <= 10; s++ {
-			if err := tr.Process(&causal.Message{ID: mid.MID{Proc: mid.ProcID(q), Seq: s}}); err != nil {
-				b.Fatal(err)
-			}
-		}
-	}
-	m := &causal.Message{
-		ID:   mid.MID{Proc: 3, Seq: 11},
-		Deps: mid.DepList{{Proc: 7, Seq: 10}, {Proc: 20, Seq: 9}, {Proc: 39, Seq: 10}},
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if !tr.Ready(m) {
-			b.Fatal("should be ready")
-		}
-	}
-}
-
-func BenchmarkHistoryStoreAndClean(b *testing.B) {
-	b.ReportAllocs()
-	stable := mid.NewSeqVector(40)
-	for i := range stable {
-		stable[i] = 10
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		h := history.New(40)
-		for q := 0; q < 40; q++ {
-			for s := mid.Seq(1); s <= 10; s++ {
-				if err := h.Store(&causal.Message{ID: mid.MID{Proc: mid.ProcID(q), Seq: s}}); err != nil {
-					b.Fatal(err)
-				}
-			}
-		}
-		if h.CleanTo(stable) != 400 {
-			b.Fatal("clean mismatch")
-		}
-	}
-}
-
-func BenchmarkWaitlistCascade(b *testing.B) {
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		b.StopTimer()
-		tr := causal.NewTracker(8)
-		wl := waitlist.New(8)
-		// A chain of 64 messages arriving in reverse.
-		for s := mid.Seq(64); s >= 2; s-- {
-			wl.Add(&causal.Message{ID: mid.MID{Proc: 0, Seq: s}})
-		}
-		b.StartTimer()
-		if err := tr.Process(&causal.Message{ID: mid.MID{Proc: 0, Seq: 1}}); err != nil {
-			b.Fatal(err)
-		}
-		for {
-			m := wl.NextReady(tr)
-			if m == nil {
-				break
-			}
-			wl.Remove(m.ID)
-			if err := tr.Process(m); err != nil {
-				b.Fatal(err)
-			}
-		}
-		if wl.Len() != 0 {
-			b.Fatal("cascade incomplete")
-		}
-	}
-}
-
-func BenchmarkWireMarshalDecision(b *testing.B) {
-	d := &wire.Decision{
-		Subrun:       1234,
-		Coord:        3,
-		MaxProcessed: mid.NewSeqVector(40),
-		MostUpdated:  make([]mid.ProcID, 40),
-		MinWaiting:   mid.NewSeqVector(40),
-		CleanTo:      mid.NewSeqVector(40),
-		Attempts:     make([]uint8, 40),
-		Alive:        make([]bool, 40),
-		Covered:      make([]bool, 40),
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		buf, err := wire.Marshal(d)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if _, err := wire.Unmarshal(buf); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-func BenchmarkVectorClockDeliverable(b *testing.B) {
-	local := vclock.New(40)
-	ts := vclock.New(40)
-	for i := range local {
-		local[i] = uint32(i)
-		ts[i] = uint32(i)
-	}
-	ts[5] = local[5] + 1
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if !vclock.Deliverable(ts, 5, local) {
-			b.Fatal("should deliver")
-		}
-	}
-}
-
-// BenchmarkCBCASTRun exercises the baseline end to end for comparison with
-// the urcgc figure benches.
-func BenchmarkCBCASTRun(b *testing.B) {
-	b.ReportAllocs()
-	var d float64
-	for i := 0; i < b.N; i++ {
-		c, err := cbcast.NewCluster(cbcast.ClusterConfig{
-			Config: cbcast.Config{N: 10, K: 3},
-			Seed:   int64(i) + 1,
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		err = c.Run(2*120+100, func(round int) {
-			if round%2 != 0 || round/2 >= 120 {
-				return
-			}
-			for p := 0; p < c.N(); p++ {
-				c.Submit(mid.ProcID(p), make([]byte, 64))
-			}
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		d = c.Delay.MeanRTD()
-	}
-	b.ReportMetric(d, "delay_rtd")
-}
-
-// BenchmarkLiveConfirmLatency measures the urcgc-data.Rq -> Conf latency on
-// the live goroutine runtime (one confirm per iteration), exercising the
-// real codec and channel mesh rather than the simulator.
-func BenchmarkLiveConfirmLatency(b *testing.B) {
-	c, err := rt.NewCluster(rt.Config{
-		Config:        core.Config{N: 5, K: 3, R: 8, SelfExclusion: true},
-		RoundDuration: 200 * time.Microsecond,
-	})
-	if err != nil {
-		b.Fatal(err)
-	}
-	c.Start()
-	defer c.Stop()
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
-	defer cancel()
-	payload := make([]byte, 64)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := c.Node(mid.ProcID(i%5)).Send(ctx, payload, nil); err != nil {
-			b.Fatal(err)
-		}
 	}
 }

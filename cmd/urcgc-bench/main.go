@@ -4,10 +4,16 @@
 // Usage:
 //
 //	urcgc-bench [-exp fig4|fig5|table1|fig6a|fig6b|all] [-n N] [-k K] [-seed S]
+//	urcgc-bench -baseline BENCH_BASELINE.json [-note "..."]
 //
 // Each experiment prints the same rows/series the paper reports. Absolute
 // values depend on the simulated substrate; see EXPERIMENTS.md for the
 // paper-vs-measured comparison.
+//
+// With -baseline, the command instead runs the recorded benchmark suite
+// (internal/benchsuite) through testing.Benchmark and writes the perf
+// trajectory artifact; a pre-existing file's numbers are preserved under
+// "previous" so the artifact carries before/after for the latest change.
 package main
 
 import (
@@ -24,7 +30,14 @@ func main() {
 	k := flag.Int("k", 0, "override K (0 = experiment default)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	baseline := flag.String("baseline", "", "record the benchmark baseline to this JSON file and exit")
+	note := flag.String("note", "", "annotation stored in the baseline file")
 	flag.Parse()
+
+	if *baseline != "" {
+		exitOn(runBaseline(*baseline, *note))
+		return
+	}
 
 	run := func(name string) bool { return *exp == "all" || *exp == name }
 	any := false

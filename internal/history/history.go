@@ -22,12 +22,20 @@ import (
 	"urcgc/internal/mid"
 )
 
-// entry holds one sender's retained suffix of messages. msgs[0] has sequence
-// number base+1; the retained range is [base+1, base+len(msgs)].
+// entry holds one sender's retained suffix of messages. The retained
+// messages are msgs[start:]; msgs[start] has sequence number base+1, so the
+// retained range is [base+1, base+len(msgs)-start]. The dead prefix
+// msgs[:start] holds nil slots: purging nils the slot (so no purged
+// *Message is ever pinned) and advances start, deferring the O(live)
+// compaction until the dead prefix dominates the backing array.
 type entry struct {
-	base mid.Seq
-	msgs []*causal.Message
+	base  mid.Seq
+	start int
+	msgs  []*causal.Message
 }
+
+// live returns the retained suffix.
+func (e *entry) live() []*causal.Message { return e.msgs[e.start:] }
 
 // History is the per-process history buffer. It is not safe for concurrent
 // use; the protocol owns it from a single goroutine.
@@ -53,7 +61,7 @@ func (h *History) Store(m *causal.Message) error {
 		return fmt.Errorf("history: message %v from process outside group of %d", m.ID, len(h.entries))
 	}
 	e := &h.entries[p]
-	want := e.base + mid.Seq(len(e.msgs)) + 1
+	want := e.base + mid.Seq(len(e.live())) + 1
 	if m.ID.Seq != want {
 		return fmt.Errorf("history: storing %v out of order (next expected seq %d)", m.ID, want)
 	}
@@ -69,10 +77,10 @@ func (h *History) Get(q mid.ProcID, s mid.Seq) *causal.Message {
 		return nil
 	}
 	e := &h.entries[q]
-	if s <= e.base || s > e.base+mid.Seq(len(e.msgs)) {
+	if s <= e.base || s > e.base+mid.Seq(len(e.live())) {
 		return nil
 	}
-	return e.msgs[s-e.base-1]
+	return e.msgs[e.start+int(s-e.base)-1]
 }
 
 // Range returns the retained messages (q, from..to), inclusive, clipped to
@@ -85,7 +93,7 @@ func (h *History) Range(q mid.ProcID, from, to mid.Seq) []*causal.Message {
 	if from <= e.base {
 		from = e.base + 1
 	}
-	if hi := e.base + mid.Seq(len(e.msgs)); to > hi {
+	if hi := e.base + mid.Seq(len(e.live())); to > hi {
 		to = hi
 	}
 	if to < from {
@@ -93,7 +101,7 @@ func (h *History) Range(q mid.ProcID, from, to mid.Seq) []*causal.Message {
 	}
 	out := make([]*causal.Message, 0, to-from+1)
 	for s := from; s <= to; s++ {
-		out = append(out, e.msgs[s-e.base-1])
+		out = append(out, e.msgs[e.start+int(s-e.base)-1])
 	}
 	return out
 }
@@ -105,7 +113,7 @@ func (h *History) MaxSeq(q mid.ProcID) mid.Seq {
 		return 0
 	}
 	e := &h.entries[q]
-	return e.base + mid.Seq(len(e.msgs))
+	return e.base + mid.Seq(len(e.live()))
 }
 
 // Base returns the highest purged (stable) sequence number of q.
@@ -119,6 +127,13 @@ func (h *History) Base(q mid.ProcID) mid.Seq {
 // CleanTo purges, for every sender q, the messages with sequence number
 // <= stable[q]. It never purges beyond what is stored and never un-purges.
 // It returns the number of messages released.
+//
+// Purged messages are never pinned: their slots are nilled immediately, so
+// the only memory retained past a purge is the dead prefix of pointer
+// slots (8 bytes each), and the slice is compacted — releasing the whole
+// backing array — as soon as the dead prefix exceeds half of it. This
+// amortizes the old copy-the-tail-on-every-clean behaviour to O(1) slot
+// writes per purged message instead of O(live) copies per clean.
 func (h *History) CleanTo(stable mid.SeqVector) int {
 	released := 0
 	for q := range h.entries {
@@ -127,20 +142,31 @@ func (h *History) CleanTo(stable mid.SeqVector) int {
 		}
 		e := &h.entries[q]
 		target := stable[q]
-		if hi := e.base + mid.Seq(len(e.msgs)); target > hi {
+		if hi := e.base + mid.Seq(len(e.live())); target > hi {
 			target = hi
 		}
 		if target <= e.base {
 			continue
 		}
 		drop := int(target - e.base)
-		// Copy the tail so the backing array does not pin purged messages.
-		tail := make([]*causal.Message, len(e.msgs)-drop)
-		copy(tail, e.msgs[drop:])
-		e.msgs = tail
+		for i := e.start; i < e.start+drop; i++ {
+			e.msgs[i] = nil // release the message even before compaction
+		}
+		e.start += drop
 		e.base = target
 		released += drop
 		h.total -= drop
+		if e.start*2 >= len(e.msgs) {
+			live := e.live()
+			if len(live) == 0 {
+				e.msgs = nil
+			} else {
+				tail := make([]*causal.Message, len(live))
+				copy(tail, live)
+				e.msgs = tail
+			}
+			e.start = 0
+		}
 	}
 	return released
 }
@@ -153,7 +179,7 @@ func (h *History) Len() int { return h.total }
 func (h *History) PerSender() []int {
 	out := make([]int, len(h.entries))
 	for i := range h.entries {
-		out[i] = len(h.entries[i].msgs)
+		out[i] = len(h.entries[i].live())
 	}
 	return out
 }

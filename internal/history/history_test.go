@@ -206,3 +206,54 @@ func TestHistoryInvariantsUnderRandomOps(t *testing.T) {
 		}
 	}
 }
+
+// TestCleanToAmortization pokes the representation directly: partial cleans
+// must nil dropped slots immediately (no pinning) while deferring compaction,
+// and compaction must fire once the dead prefix reaches half the backing
+// array.
+func TestCleanToAmortization(t *testing.T) {
+	h := New(1)
+	for s := mid.Seq(1); s <= 10; s++ {
+		if err := h.Store(msg(0, s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e := &h.entries[0]
+	if h.CleanTo(mid.SeqVector{3}) != 3 {
+		t.Fatal("clean to 3")
+	}
+	// 3 dead of 10 slots: below the half threshold, so no compaction yet.
+	if e.start != 3 || len(e.msgs) != 10 {
+		t.Fatalf("start=%d len=%d, want deferred compaction (3, 10)", e.start, len(e.msgs))
+	}
+	for i := 0; i < e.start; i++ {
+		if e.msgs[i] != nil {
+			t.Fatalf("dead slot %d still pins a message", i)
+		}
+	}
+	if h.Get(0, 3) != nil || h.Get(0, 4) == nil {
+		t.Fatal("Get wrong across dead prefix")
+	}
+	// 6 dead of 10 slots: threshold crossed, backing array replaced.
+	if h.CleanTo(mid.SeqVector{6}) != 3 {
+		t.Fatal("clean to 6")
+	}
+	if e.start != 0 || len(e.msgs) != 4 || cap(e.msgs) != 4 {
+		t.Fatalf("start=%d len=%d cap=%d, want compacted (0, 4, 4)", e.start, len(e.msgs), cap(e.msgs))
+	}
+	if got := h.Range(0, 7, 10); len(got) != 4 || got[0].ID.Seq != 7 {
+		t.Fatalf("Range after compaction = %v", got)
+	}
+	// Full purge releases the backing array entirely.
+	h.CleanTo(mid.SeqVector{10})
+	if e.msgs != nil || e.start != 0 || e.base != 10 {
+		t.Fatalf("full purge left msgs=%v start=%d base=%d", e.msgs, e.start, e.base)
+	}
+	// Store keeps working against the purged base.
+	if err := h.Store(msg(0, 11)); err != nil {
+		t.Fatal(err)
+	}
+	if h.Get(0, 11) == nil || h.MaxSeq(0) != 11 {
+		t.Fatal("store after full purge broken")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"urcgc/internal/causal"
@@ -444,33 +445,82 @@ type meshTransport struct {
 	n *Node
 }
 
+// sharedBuf is a pooled wire buffer fanned out to several receivers: the
+// last reference released returns it to the wire pool. Receivers decode
+// concurrently, which is safe because reads of the shared bytes are
+// read-only and Unmarshal never aliases its input.
+type sharedBuf struct {
+	buf  []byte
+	refs atomic.Int32
+}
+
+func (s *sharedBuf) release() {
+	if s.refs.Add(-1) == 0 {
+		wire.PutBuf(s.buf)
+	}
+}
+
 func (t meshTransport) Send(dst mid.ProcID, pdu wire.PDU) {
 	if dst == t.n.id || dst < 0 || int(dst) >= t.n.c.N() {
 		return
 	}
-	buf, err := wire.Marshal(pdu)
+	buf, err := wire.MarshalAppend(wire.GetBuf(pdu.EncodedSize()), pdu)
 	if err != nil {
+		wire.PutBuf(buf)
 		return // unencodable PDUs never leave the node
 	}
-	src := t.n.id
-	target := t.n.c.nodes[dst]
+	if t.n.Killed() {
+		wire.PutBuf(buf)
+		return // a crashed site emits nothing
+	}
+	if !t.deliver(t.n.c.nodes[dst], buf, nil) {
+		wire.PutBuf(buf)
+	}
+}
+
+// Broadcast marshals the PDU exactly once and fans the same byte slice out
+// to every peer; each receiver decodes its own self-owned PDU from the
+// shared bytes.
+func (t meshTransport) Broadcast(pdu wire.PDU) {
 	if t.n.Killed() {
 		return // a crashed site emits nothing
 	}
-	target.enqueue(func() {
-		if target.Killed() {
-			return // a crashed site absorbs nothing
+	buf, err := wire.MarshalAppend(wire.GetBuf(pdu.EncodedSize()), pdu)
+	if err != nil {
+		wire.PutBuf(buf)
+		return
+	}
+	sh := &sharedBuf{buf: buf}
+	sh.refs.Store(1) // the sender's own hold, released after the fan-out
+	for i := 0; i < t.n.c.N(); i++ {
+		dst := mid.ProcID(i)
+		if dst == t.n.id {
+			continue
 		}
+		sh.refs.Add(1)
+		if !t.deliver(t.n.c.nodes[dst], buf, sh) {
+			sh.release()
+		}
+	}
+	sh.release()
+}
+
+// deliver enqueues buf for decoding on the target's loop goroutine. When sh
+// is non-nil the receiver releases its reference after decoding; otherwise
+// the receiver owns buf and returns it to the pool itself. Reports whether
+// the datagram was accepted (a full inbox drops it).
+func (t meshTransport) deliver(target *Node, buf []byte, sh *sharedBuf) bool {
+	src := t.n.id
+	return target.enqueue(func() {
 		decoded, err := wire.Unmarshal(buf)
-		if err != nil {
-			return
+		if sh != nil {
+			sh.release()
+		} else {
+			wire.PutBuf(buf)
+		}
+		if err != nil || target.Killed() {
+			return // undecodable dropped; a crashed site absorbs nothing
 		}
 		target.proc.Recv(src, decoded)
 	})
-}
-
-func (t meshTransport) Broadcast(pdu wire.PDU) {
-	for i := 0; i < t.n.c.N(); i++ {
-		t.Send(mid.ProcID(i), pdu)
-	}
 }

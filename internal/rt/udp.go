@@ -388,7 +388,10 @@ func (n *UDPNode) reader() {
 			n.warnf("datagram from %v claims member %d outside group of %d: dropped", from, src, n.cfg.N)
 			continue
 		}
-		pdu, err := wire.Unmarshal(append([]byte(nil), buf[4:sz]...))
+		// Decode in place: Unmarshal never aliases its input, so the read
+		// buffer is immediately reusable for the next datagram — no
+		// per-datagram copy or allocation.
+		pdu, err := wire.Unmarshal(buf[4:sz])
 		if err != nil {
 			if n.sock != nil {
 				n.sock.dropDecode.Inc()
@@ -407,18 +410,18 @@ func (n *UDPNode) reader() {
 // udpTransport sends PDUs as [src:4][marshaled PDU] datagrams.
 type udpTransport struct{ n *UDPNode }
 
-func (t udpTransport) Send(dst mid.ProcID, pdu wire.PDU) {
-	if dst == t.n.cfg.Self || dst < 0 || int(dst) >= t.n.cfg.N {
-		return
-	}
-	body, err := wire.Marshal(pdu)
-	if err != nil {
-		return
-	}
-	buf := make([]byte, 4+len(body))
-	binary.BigEndian.PutUint32(buf[:4], uint32(t.n.cfg.Self))
-	copy(buf[4:], body)
-	if _, err := t.n.conn.WriteToUDP(buf, t.n.peers[dst]); err != nil {
+// frame encodes [src:4][body] into one pooled buffer: the 4-byte source
+// header is reserved up front so the PDU marshals directly behind it with
+// no second buffer or copy. The caller owns the result until PutBuf.
+func (t udpTransport) frame(pdu wire.PDU) ([]byte, error) {
+	buf := wire.GetBuf(4 + pdu.EncodedSize())[:4]
+	binary.BigEndian.PutUint32(buf, uint32(t.n.cfg.Self))
+	return wire.MarshalAppend(buf, pdu)
+}
+
+// write ships one framed datagram and accounts for it.
+func (t udpTransport) write(dst mid.ProcID, frame []byte) {
+	if _, err := t.n.conn.WriteToUDP(frame, t.n.peers[dst]); err != nil {
 		// Loss is an omission the protocol repairs; count it anyway.
 		if t.n.sock != nil {
 			t.n.sock.sendErrors.Inc()
@@ -427,12 +430,38 @@ func (t udpTransport) Send(dst mid.ProcID, pdu wire.PDU) {
 	}
 	if t.n.sock != nil {
 		t.n.sock.sendDatagrams.Inc()
-		t.n.sock.sendBytes.Add(int64(len(buf)))
+		t.n.sock.sendBytes.Add(int64(len(frame)))
 	}
 }
 
-func (t udpTransport) Broadcast(pdu wire.PDU) {
-	for i := 0; i < t.n.cfg.N; i++ {
-		t.Send(mid.ProcID(i), pdu)
+func (t udpTransport) Send(dst mid.ProcID, pdu wire.PDU) {
+	if dst == t.n.cfg.Self || dst < 0 || int(dst) >= t.n.cfg.N {
+		return
 	}
+	frame, err := t.frame(pdu)
+	if err != nil {
+		wire.PutBuf(frame)
+		return
+	}
+	t.write(dst, frame)
+	wire.PutBuf(frame)
+}
+
+// Broadcast marshals the PDU exactly once and sends the same framed bytes
+// to every peer; WriteToUDP does not retain the buffer, so it goes back to
+// the pool after the fan-out.
+func (t udpTransport) Broadcast(pdu wire.PDU) {
+	frame, err := t.frame(pdu)
+	if err != nil {
+		wire.PutBuf(frame)
+		return
+	}
+	for i := 0; i < t.n.cfg.N; i++ {
+		dst := mid.ProcID(i)
+		if dst == t.n.cfg.Self {
+			continue
+		}
+		t.write(dst, frame)
+	}
+	wire.PutBuf(frame)
 }

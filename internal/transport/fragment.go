@@ -93,11 +93,18 @@ func (e *Entity) recvFragment(f *Fragment) {
 		return
 	}
 	delete(e.reasm, k)
-	var buf []byte
+	size := 0
+	for _, c := range r.chunks {
+		size += len(c)
+	}
+	// Reassemble into a pooled buffer; Unmarshal never aliases its input,
+	// so the buffer goes straight back to the pool.
+	buf := wire.GetBuf(size)
 	for _, c := range r.chunks {
 		buf = append(buf, c...)
 	}
 	pdu, err := wire.Unmarshal(buf)
+	wire.PutBuf(buf)
 	if err != nil {
 		return // corrupted reassembly: the PDU is lost, an omission
 	}

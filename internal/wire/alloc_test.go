@@ -1,0 +1,113 @@
+package wire
+
+import (
+	"testing"
+
+	"urcgc/internal/causal"
+	"urcgc/internal/mid"
+)
+
+// allocCases lists one representative PDU per kind, shaped like paper-scale
+// traffic (n=40 control vectors, 64-byte payloads).
+func allocCases() map[string]PDU {
+	return map[string]PDU{
+		"Data": &Data{Msg: causal.Message{
+			ID:      mid.MID{Proc: 3, Seq: 17},
+			Deps:    mid.DepList{{Proc: 0, Seq: 4}, {Proc: 2, Seq: 9}},
+			Payload: make([]byte, 64),
+		}},
+		"Request": &Request{
+			Sender: 2, Subrun: 7,
+			LastProcessed: mid.NewSeqVector(40),
+			Waiting:       mid.NewSeqVector(40),
+			Prev:          mkDecision(40),
+		},
+		"Decision": mkDecision(40),
+		"Recover": &Recover{Requester: 4, Wants: []WantRange{
+			{Proc: 0, From: 3, To: 9}, {Proc: 2, From: 1, To: 1},
+		}},
+		"Retransmit": &Retransmit{Responder: 1, Msgs: []*causal.Message{
+			{ID: mid.MID{Proc: 0, Seq: 1}, Payload: make([]byte, 64)},
+			{ID: mid.MID{Proc: 0, Seq: 2}, Deps: mid.DepList{{Proc: 1, Seq: 1}}},
+		}},
+	}
+}
+
+// TestMarshalAppendAllocFree guards the broadcast hot path: encoding into a
+// buffer with sufficient capacity must never allocate, for any PDU kind.
+func TestMarshalAppendAllocFree(t *testing.T) {
+	for name, p := range allocCases() {
+		buf := make([]byte, 0, p.EncodedSize())
+		got := testing.AllocsPerRun(200, func() {
+			var err error
+			buf, err = MarshalAppend(buf[:0], p)
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+		if got != 0 {
+			t.Errorf("%s: MarshalAppend into presized buffer allocates %.1f/op, want 0", name, got)
+		}
+	}
+}
+
+// TestMarshalAllocBudget pins Marshal to its single buffer allocation.
+func TestMarshalAllocBudget(t *testing.T) {
+	for name, p := range allocCases() {
+		p := p
+		got := testing.AllocsPerRun(200, func() {
+			if _, err := Marshal(p); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if got > 1 {
+			t.Errorf("%s: Marshal allocates %.1f/op, want <= 1 (the buffer)", name, got)
+		}
+	}
+}
+
+// TestUnmarshalAllocBudget pins the decode path to its arena allocation
+// counts so pooling and arena wins cannot silently regress. Budgets per
+// kind: the PDU struct, the 4-byte-element arena, the 1-byte-element arena,
+// plus per-message deps/payload copies for the message-bearing kinds.
+func TestUnmarshalAllocBudget(t *testing.T) {
+	budgets := map[string]float64{
+		"Data":       3, // struct + deps + payload copy
+		"Request":    6, // struct + request arena + prev decision (struct + 2 arenas)... one spare
+		"Decision":   3, // struct + u32 arena + byte arena
+		"Recover":    2, // struct + wants
+		"Retransmit": 7, // struct + msgs + 2*(msg struct + payload/deps)
+	}
+	for name, p := range allocCases() {
+		buf, err := Marshal(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := testing.AllocsPerRun(200, func() {
+			if _, err := Unmarshal(buf); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if got > budgets[name] {
+			t.Errorf("%s: Unmarshal allocates %.1f/op, budget %.0f", name, got, budgets[name])
+		}
+	}
+}
+
+// TestPooledRoundTripAllocFree guards the full pooled hot path — GetBuf,
+// MarshalAppend, PutBuf — at zero allocations in steady state.
+func TestPooledRoundTripAllocFree(t *testing.T) {
+	d := mkDecision(40)
+	// Warm the pool.
+	PutBuf(GetBuf(d.EncodedSize()))
+	got := testing.AllocsPerRun(200, func() {
+		buf, err := MarshalAppend(GetBuf(d.EncodedSize()), d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		PutBuf(buf)
+	})
+	if got != 0 {
+		t.Errorf("pooled marshal cycle allocates %.1f/op, want 0", got)
+	}
+}

@@ -57,5 +57,27 @@ func FuzzUnmarshal(f *testing.F) {
 		if p.EncodedSize() != len(data) {
 			t.Fatalf("EncodedSize %d != wire length %d", p.EncodedSize(), len(data))
 		}
+		// MarshalAppend behind a non-empty prefix must reproduce the exact
+		// same bytes and leave the prefix intact.
+		prefix := []byte{0xC0, 0xFF, 0xEE}
+		app, err := MarshalAppend(append([]byte(nil), prefix...), p)
+		if err != nil {
+			t.Fatalf("MarshalAppend failed where Marshal succeeded: %v", err)
+		}
+		if !bytes.Equal(app[:len(prefix)], prefix) || !bytes.Equal(app[len(prefix):], data) {
+			t.Fatalf("MarshalAppend diverges from Marshal:\n got %x\n want %x%x", app, prefix, data)
+		}
+		// Ownership: the decoded PDU must not alias the input. Scribble the
+		// input (as pooled reuse would) and re-marshal — bytes must hold.
+		for i := range data {
+			data[i] ^= 0xFF
+		}
+		out2, err := Marshal(p)
+		if err != nil {
+			t.Fatalf("re-marshal after input scribble: %v", err)
+		}
+		if !bytes.Equal(out, out2) {
+			t.Fatalf("decoded PDU aliases pooled input memory:\n before %x\n after  %x", out, out2)
+		}
 	})
 }

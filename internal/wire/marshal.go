@@ -3,14 +3,35 @@ package wire
 import (
 	"encoding/binary"
 	"fmt"
+	"sync/atomic"
+	"unsafe"
 
 	"urcgc/internal/causal"
 	"urcgc/internal/mid"
 )
 
+// marshalCalls counts completed PDU encodings. The runtimes' broadcast
+// paths promise exactly one marshal per PDU regardless of fan-out; tests
+// assert that promise through MarshalCalls.
+var marshalCalls atomic.Uint64
+
+// MarshalCalls returns the number of PDU encodings performed so far. It is
+// a testing hook for marshal-once assertions; the counter never resets.
+func MarshalCalls() uint64 { return marshalCalls.Load() }
+
 // Marshal encodes a PDU to a fresh buffer of exactly EncodedSize bytes.
 func Marshal(p PDU) ([]byte, error) {
-	w := &writer{buf: make([]byte, 0, p.EncodedSize())}
+	return MarshalAppend(make([]byte, 0, p.EncodedSize()), p)
+}
+
+// MarshalAppend appends the encoding of p to dst and returns the extended
+// slice, growing it at most once. The bytes appended are exactly
+// p.EncodedSize() long and identical to what Marshal produces, whatever the
+// prefix already in dst. On error dst is returned unchanged in content
+// (its capacity may have grown).
+func MarshalAppend(dst []byte, p PDU) ([]byte, error) {
+	w := &writer{buf: grow(dst, p.EncodedSize())}
+	start := len(dst)
 	w.u8(uint8(p.Kind()))
 	switch v := p.(type) {
 	case *Data:
@@ -19,7 +40,7 @@ func Marshal(p PDU) ([]byte, error) {
 		w.i32(int32(v.Sender))
 		w.i64(v.Subrun)
 		if len(v.LastProcessed) != len(v.Waiting) {
-			return nil, fmt.Errorf("wire: request vectors disagree on n (%d vs %d)", len(v.LastProcessed), len(v.Waiting))
+			return dst, fmt.Errorf("wire: request vectors disagree on n (%d vs %d)", len(v.LastProcessed), len(v.Waiting))
 		}
 		w.u16(uint16(len(v.LastProcessed)))
 		w.seqVec(v.LastProcessed)
@@ -29,12 +50,12 @@ func Marshal(p PDU) ([]byte, error) {
 		} else {
 			w.u8(1)
 			if err := marshalDecisionBody(w, v.Prev); err != nil {
-				return nil, err
+				return dst, err
 			}
 		}
 	case *Decision:
 		if err := marshalDecisionBody(w, v); err != nil {
-			return nil, err
+			return dst, err
 		}
 	case *Recover:
 		w.i32(int32(v.Requester))
@@ -51,15 +72,29 @@ func Marshal(p PDU) ([]byte, error) {
 			marshalMsgBody(w, m)
 		}
 	default:
-		return nil, fmt.Errorf("wire: unknown PDU type %T", p)
+		return dst, fmt.Errorf("wire: unknown PDU type %T", p)
 	}
-	if len(w.buf) != p.EncodedSize() {
-		return nil, fmt.Errorf("wire: %v encoded to %d bytes, EncodedSize says %d", p.Kind(), len(w.buf), p.EncodedSize())
+	if len(w.buf)-start != p.EncodedSize() {
+		return dst, fmt.Errorf("wire: %v encoded to %d bytes, EncodedSize says %d", p.Kind(), len(w.buf)-start, p.EncodedSize())
 	}
+	marshalCalls.Add(1)
 	return w.buf, nil
 }
 
-// Unmarshal decodes a buffer produced by Marshal.
+// grow returns b with room for at least n more bytes, reallocating at most
+// once (append's growth policy may over-allocate, which the pool welcomes).
+func grow(b []byte, n int) []byte {
+	if cap(b)-len(b) >= n {
+		return b
+	}
+	nb := make([]byte, len(b), len(b)+n)
+	copy(nb, b)
+	return nb
+}
+
+// Unmarshal decodes a buffer produced by Marshal. The returned PDU owns
+// every byte of its variable-length fields: nothing in it aliases buf, so
+// the caller may reuse or pool buf the moment Unmarshal returns.
 func Unmarshal(buf []byte) (PDU, error) {
 	r := &reader{buf: buf}
 	kind, err := r.u8()
@@ -82,14 +117,22 @@ func Unmarshal(buf []byte) (PDU, error) {
 		if req.Subrun, err = r.i64(); err != nil {
 			return nil, err
 		}
-		n, err := r.u16()
+		n16, err := r.u16()
 		if err != nil {
 			return nil, err
 		}
-		if req.LastProcessed, err = r.seqVec(int(n)); err != nil {
+		n := int(n16)
+		if len(r.buf)-r.off < 8*n {
+			return nil, ErrTruncated
+		}
+		// One arena for both vectors (see unmarshalDecisionBody).
+		u32s := make(mid.SeqVector, 2*n)
+		req.LastProcessed = u32s[:n:n]
+		req.Waiting = u32s[n : 2*n : 2*n]
+		if err := r.seqVecInto(req.LastProcessed); err != nil {
 			return nil, err
 		}
-		if req.Waiting, err = r.seqVec(int(n)); err != nil {
+		if err := r.seqVecInto(req.Waiting); err != nil {
 			return nil, err
 		}
 		has, err := r.u8()
@@ -191,26 +234,29 @@ func unmarshalMsgBody(r *reader, m *causal.Message) error {
 		return err
 	}
 	if cnt > 0 {
+		raw, err := r.take(8 * int(cnt))
+		if err != nil {
+			return err
+		}
 		m.Deps = make(mid.DepList, cnt)
 		for i := range m.Deps {
-			if m.Deps[i].Proc, err = r.procID(); err != nil {
-				return err
-			}
-			ds, err := r.u32()
-			if err != nil {
-				return err
-			}
-			m.Deps[i].Seq = mid.Seq(ds)
+			m.Deps[i].Proc = mid.ProcID(int32(binary.BigEndian.Uint32(raw[8*i:])))
+			m.Deps[i].Seq = mid.Seq(binary.BigEndian.Uint32(raw[8*i+4:]))
 		}
 	}
 	plen, err := r.u16()
 	if err != nil {
 		return err
 	}
-	if m.Payload, err = r.take(int(plen)); err != nil {
+	raw, err := r.take(int(plen))
+	if err != nil {
 		return err
 	}
-	if len(m.Payload) == 0 {
+	if len(raw) > 0 {
+		// Copy so the decoded message owns its payload: decoded PDUs are
+		// retained indefinitely (history), while buf may be pooled.
+		m.Payload = append([]byte(nil), raw...)
+	} else {
 		m.Payload = nil
 	}
 	return nil
@@ -231,14 +277,10 @@ func marshalDecisionBody(w *writer, d *Decision) error {
 	}
 	w.u8(flags)
 	w.seqVec(d.MaxProcessed)
-	for _, p := range d.MostUpdated {
-		w.i32(int32(p))
-	}
+	w.procVec(d.MostUpdated)
 	w.seqVec(d.MinWaiting)
 	w.seqVec(d.CleanTo)
-	for _, a := range d.Attempts {
-		w.u8(a)
-	}
+	w.bytes(d.Attempts)
 	w.bitmask(d.Alive)
 	w.bitmask(d.Covered)
 	return nil
@@ -265,37 +307,73 @@ func unmarshalDecisionBody(r *reader, d *Decision) error {
 		return fmt.Errorf("wire: non-canonical decision flags %#x", flags)
 	}
 	d.FullGroup = flags&1 != 0
-	if d.MaxProcessed, err = r.seqVec(n); err != nil {
+	// Before allocating anything sized by the claimed n, make sure the
+	// buffer can actually hold the body (a forged header must not trigger
+	// a large allocation).
+	if need := 16*n + n + 2*((n+7)/8); len(r.buf)-r.off < need {
+		return ErrTruncated
+	}
+	// Carve every slice field out of two arena allocations — one for the
+	// 4-byte elements, one for the 1-byte elements. Decisions are decoded
+	// once per peer per subrun, and the wire hot path pays per allocation,
+	// not per byte: this turns 7 slice allocations into 2. The three-index
+	// subslices cap each field exactly, so a later append cannot stomp a
+	// neighbouring field.
+	u32s := make(mid.SeqVector, 4*n)
+	d.MaxProcessed = u32s[0*n : 1*n : 1*n]
+	d.MinWaiting = u32s[1*n : 2*n : 2*n]
+	d.CleanTo = u32s[2*n : 3*n : 3*n]
+	d.MostUpdated = procIDSlice(u32s[3*n : 4*n : 4*n])
+	bytes := make([]uint8, 3*n)
+	d.Attempts = bytes[0*n : 1*n : 1*n]
+	d.Alive = boolSlice(bytes[1*n : 2*n : 2*n])
+	d.Covered = boolSlice(bytes[2*n : 3*n : 3*n])
+	if err = r.seqVecInto(d.MaxProcessed); err != nil {
 		return err
 	}
-	d.MostUpdated = make([]mid.ProcID, n)
-	for i := range d.MostUpdated {
-		if d.MostUpdated[i], err = r.procID(); err != nil {
-			return err
-		}
-	}
-	if d.MinWaiting, err = r.seqVec(n); err != nil {
+	if err = r.procVecInto(d.MostUpdated); err != nil {
 		return err
 	}
-	if d.CleanTo, err = r.seqVec(n); err != nil {
+	if err = r.seqVecInto(d.MinWaiting); err != nil {
 		return err
 	}
-	d.Attempts = make([]uint8, n)
-	for i := range d.Attempts {
-		if d.Attempts[i], err = r.u8(); err != nil {
-			return err
-		}
-	}
-	if d.Alive, err = r.bitmask(n); err != nil {
+	if err = r.seqVecInto(d.CleanTo); err != nil {
 		return err
 	}
-	if d.Covered, err = r.bitmask(n); err != nil {
+	raw, err := r.take(n)
+	if err != nil {
 		return err
 	}
-	return nil
+	copy(d.Attempts, raw)
+	if err = r.bitmaskInto(d.Alive); err != nil {
+		return err
+	}
+	return r.bitmaskInto(d.Covered)
 }
 
-// writer appends big-endian fields to a buffer.
+// procIDSlice reinterprets a section of a Seq arena as []mid.ProcID. Both
+// are 32-bit integer types with identical layout; the reinterpretation only
+// shares the backing allocation, never overlapping elements.
+func procIDSlice(v mid.SeqVector) []mid.ProcID {
+	if len(v) == 0 {
+		return []mid.ProcID{}
+	}
+	return unsafe.Slice((*mid.ProcID)(unsafe.Pointer(&v[0])), len(v))
+}
+
+// boolSlice reinterprets a zeroed section of a byte arena as []bool. Every
+// element is written as a genuine bool (the arena starts zeroed = all
+// false) before anything reads it, so no byte ever holds a non-bool value.
+func boolSlice(b []uint8) []bool {
+	if len(b) == 0 {
+		return []bool{}
+	}
+	return unsafe.Slice((*bool)(unsafe.Pointer(&b[0])), len(b))
+}
+
+// writer appends big-endian fields to a buffer. MarshalAppend pre-grows the
+// buffer to the PDU's EncodedSize, so the append calls below normally never
+// reallocate; extend covers the defensive general case.
 type writer struct{ buf []byte }
 
 func (w *writer) u8(v uint8)   { w.buf = append(w.buf, v) }
@@ -306,18 +384,39 @@ func (w *writer) i64(v int64)  { w.buf = binary.BigEndian.AppendUint64(w.buf, ui
 func (w *writer) bytes(b []byte) {
 	w.buf = append(w.buf, b...)
 }
+
+// extend lengthens the buffer by n zeroed bytes and returns the offset at
+// which they start, so callers can fill a whole field with one bulk write.
+func (w *writer) extend(n int) int {
+	off := len(w.buf)
+	if cap(w.buf)-off >= n {
+		w.buf = w.buf[: off+n : cap(w.buf)]
+		clear(w.buf[off:])
+	} else {
+		w.buf = append(w.buf, make([]byte, n)...)
+	}
+	return off
+}
+
 func (w *writer) seqVec(v mid.SeqVector) {
-	for _, s := range v {
-		w.u32(uint32(s))
+	off := w.extend(4 * len(v))
+	for i, s := range v {
+		binary.BigEndian.PutUint32(w.buf[off+4*i:], uint32(s))
 	}
 }
+
+func (w *writer) procVec(v []mid.ProcID) {
+	off := w.extend(4 * len(v))
+	for i, p := range v {
+		binary.BigEndian.PutUint32(w.buf[off+4*i:], uint32(int32(p)))
+	}
+}
+
 func (w *writer) bitmask(bits []bool) {
-	nbytes := (len(bits) + 7) / 8
-	start := len(w.buf)
-	w.buf = append(w.buf, make([]byte, nbytes)...)
+	off := w.extend((len(bits) + 7) / 8)
 	for i, b := range bits {
 		if b {
-			w.buf[start+i/8] |= 1 << (i % 8)
+			w.buf[off+i/8] |= 1 << (i % 8)
 		}
 	}
 }
@@ -374,31 +473,44 @@ func (r *reader) procID() (mid.ProcID, error) {
 	return mid.ProcID(int32(v)), err
 }
 
-func (r *reader) seqVec(n int) (mid.SeqVector, error) {
-	v := mid.NewSeqVector(n)
-	for i := range v {
-		s, err := r.u32()
-		if err != nil {
-			return nil, err
-		}
-		v[i] = mid.Seq(s)
+// seqVecInto bulk-decodes len(v) big-endian sequence numbers into v.
+func (r *reader) seqVecInto(v mid.SeqVector) error {
+	raw, err := r.take(4 * len(v))
+	if err != nil {
+		return err
 	}
-	return v, nil
+	for i := range v {
+		v[i] = mid.Seq(binary.BigEndian.Uint32(raw[4*i:]))
+	}
+	return nil
 }
 
-func (r *reader) bitmask(n int) ([]bool, error) {
+// procVecInto bulk-decodes len(v) big-endian process IDs into v.
+func (r *reader) procVecInto(v []mid.ProcID) error {
+	raw, err := r.take(4 * len(v))
+	if err != nil {
+		return err
+	}
+	for i := range v {
+		v[i] = mid.ProcID(int32(binary.BigEndian.Uint32(raw[4*i:])))
+	}
+	return nil
+}
+
+// bitmaskInto bulk-decodes a packed bitmask into bits.
+func (r *reader) bitmaskInto(bits []bool) error {
+	n := len(bits)
 	raw, err := r.take((n + 7) / 8)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	// Reject set padding bits: the encoding is canonical so that
 	// Marshal(Unmarshal(b)) == b for every accepted b.
 	if pad := len(raw)*8 - n; pad > 0 && raw[len(raw)-1]>>(8-pad) != 0 {
-		return nil, fmt.Errorf("wire: non-canonical bitmask padding")
+		return fmt.Errorf("wire: non-canonical bitmask padding")
 	}
-	bits := make([]bool, n)
 	for i := range bits {
 		bits[i] = raw[i/8]&(1<<(i%8)) != 0
 	}
-	return bits, nil
+	return nil
 }

@@ -1,0 +1,53 @@
+package wire
+
+import "sync"
+
+// Buffer pooling for the wire hot path. Every broadcast round marshals
+// O(n)-sized Request/Decision PDUs and the UDP sender frames each of them;
+// recycling those buffers keeps the steady-state codec allocation-free.
+//
+// Ownership rule: a buffer obtained from GetBuf is exclusively the
+// caller's until PutBuf; after PutBuf no reference to it (or to any slice
+// of it) may survive. Unmarshal never aliases its input (decoded PDUs copy
+// their variable-length fields), so a buffer may be returned to the pool
+// the moment decoding finishes.
+
+// maxPooledBuf caps what PutBuf retains; anything larger (a jumbo
+// retransmit burst) is left for the GC rather than pinned in the pool.
+const maxPooledBuf = 1 << 20
+
+// bufPool holds *[]byte entries whose slices carry recycled backing
+// arrays; holderPool recycles the pointer-sized holders themselves so
+// neither GetBuf nor PutBuf allocates in steady state.
+var (
+	bufPool    sync.Pool
+	holderPool sync.Pool
+)
+
+// GetBuf returns a zero-length buffer with capacity at least n, recycled
+// when possible.
+func GetBuf(n int) []byte {
+	if p, _ := bufPool.Get().(*[]byte); p != nil {
+		b := *p
+		*p = nil
+		holderPool.Put(p)
+		if cap(b) >= n {
+			return b[:0]
+		}
+	}
+	return make([]byte, 0, n)
+}
+
+// PutBuf recycles a buffer for a later GetBuf (provenance does not matter).
+// The caller must not retain b or any slice sharing its backing array.
+func PutBuf(b []byte) {
+	if cap(b) == 0 || cap(b) > maxPooledBuf {
+		return
+	}
+	p, _ := holderPool.Get().(*[]byte)
+	if p == nil {
+		p = new([]byte)
+	}
+	*p = b[:0:cap(b)]
+	bufPool.Put(p)
+}

@@ -195,6 +195,120 @@ func TestDecisionClone(t *testing.T) {
 	}
 }
 
+// TestMarshalAppendPrefix: MarshalAppend behind any prefix produces the
+// exact bytes Marshal produces, leaves the prefix intact, and grows the
+// slice by exactly EncodedSize.
+func TestMarshalAppendPrefix(t *testing.T) {
+	pdus := []PDU{
+		&Data{Msg: causal.Message{ID: mid.MID{Proc: 3, Seq: 17}, Payload: []byte("hello")}},
+		&Request{Sender: 2, Subrun: 7, LastProcessed: mid.SeqVector{1, 2, 3}, Waiting: mid.SeqVector{0, 5, 0}, Prev: mkDecision(3)},
+		mkDecision(8),
+		&Recover{Requester: 4, Wants: []WantRange{{Proc: 0, From: 3, To: 9}}},
+		&Retransmit{Responder: 1, Msgs: []*causal.Message{{ID: mid.MID{Proc: 0, Seq: 1}, Payload: []byte("a")}}},
+	}
+	prefixes := [][]byte{nil, {}, {0xde, 0xad, 0xbe, 0xef}, bytes.Repeat([]byte{7}, 100)}
+	for _, p := range pdus {
+		want, err := Marshal(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, prefix := range prefixes {
+			dst := append([]byte(nil), prefix...)
+			got, err := MarshalAppend(dst, p)
+			if err != nil {
+				t.Fatalf("%v: MarshalAppend: %v", p.Kind(), err)
+			}
+			if !bytes.Equal(got[:len(prefix)], prefix) {
+				t.Fatalf("%v: prefix clobbered", p.Kind())
+			}
+			if !bytes.Equal(got[len(prefix):], want) {
+				t.Fatalf("%v: appended bytes differ from Marshal:\n append %x\n direct %x", p.Kind(), got[len(prefix):], want)
+			}
+			if len(got) != len(prefix)+p.EncodedSize() {
+				t.Fatalf("%v: appended %d bytes, EncodedSize %d", p.Kind(), len(got)-len(prefix), p.EncodedSize())
+			}
+		}
+	}
+}
+
+// TestMarshalAppendErrorKeepsPrefix: a failed MarshalAppend must not leave
+// a half-written PDU visible behind the prefix.
+func TestMarshalAppendErrorKeepsPrefix(t *testing.T) {
+	bad := &Request{LastProcessed: mid.SeqVector{1}, Waiting: mid.SeqVector{1, 2}}
+	prefix := []byte{1, 2, 3}
+	got, err := MarshalAppend(append([]byte(nil), prefix...), bad)
+	if err == nil {
+		t.Fatal("mismatched vectors must be rejected")
+	}
+	if !bytes.Equal(got, prefix) {
+		t.Fatalf("error path returned %x, want the untouched prefix %x", got, prefix)
+	}
+}
+
+// TestUnmarshalDoesNotAliasInput: decoded PDUs must own all their memory so
+// the input buffer can be pooled/reused the moment Unmarshal returns. This
+// is the ownership rule the rt and transport hot paths rely on.
+func TestUnmarshalDoesNotAliasInput(t *testing.T) {
+	pdus := []PDU{
+		&Data{Msg: causal.Message{
+			ID:      mid.MID{Proc: 3, Seq: 17},
+			Deps:    mid.DepList{{Proc: 0, Seq: 4}, {Proc: 2, Seq: 9}},
+			Payload: []byte("payload bytes"),
+		}},
+		&Request{Sender: 2, Subrun: 7, LastProcessed: mid.SeqVector{1, 2, 3}, Waiting: mid.SeqVector{0, 5, 0}, Prev: mkDecision(3)},
+		mkDecision(9),
+		&Retransmit{Responder: 1, Msgs: []*causal.Message{
+			{ID: mid.MID{Proc: 0, Seq: 1}, Payload: []byte("retained")},
+		}},
+	}
+	for _, p := range pdus {
+		buf, err := Marshal(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Unmarshal(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Scribble over the input as a pooled-reuse would; the decoded PDU
+		// must be unaffected.
+		for i := range buf {
+			buf[i] = 0xAA
+		}
+		re, err := Marshal(got)
+		if err != nil {
+			t.Fatalf("%v: re-marshal after input scribble: %v", p.Kind(), err)
+		}
+		want, err := Marshal(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(re, want) {
+			t.Errorf("%v: decoded PDU aliases the input buffer (corrupted after scribble)", p.Kind())
+		}
+	}
+}
+
+// TestGetPutBuf exercises the pool contract.
+func TestGetPutBuf(t *testing.T) {
+	b := GetBuf(128)
+	if len(b) != 0 || cap(b) < 128 {
+		t.Fatalf("GetBuf(128): len=%d cap=%d", len(b), cap(b))
+	}
+	b = append(b, 1, 2, 3)
+	PutBuf(b)
+	b2 := GetBuf(8)
+	if len(b2) != 0 {
+		t.Fatalf("recycled buffer not reset: len=%d", len(b2))
+	}
+	PutBuf(nil)                           // must not panic
+	PutBuf(make([]byte, maxPooledBuf+1))  // oversize: silently dropped
+	big := GetBuf(maxPooledBuf + 1)       // bigger than anything pooled
+	if cap(big) < maxPooledBuf+1 {
+		t.Fatalf("GetBuf must satisfy the request: cap=%d", cap(big))
+	}
+}
+
 func TestKindString(t *testing.T) {
 	for k, want := range map[Kind]string{
 		KindData: "DATA", KindRequest: "REQUEST", KindDecision: "DECISION",
