@@ -54,6 +54,8 @@ func BenchmarkWireUnmarshalData(b *testing.B)         { benchsuite.WireUnmarshal
 func BenchmarkVectorClockDeliverable(b *testing.B)    { benchsuite.VectorClockDeliverable(b) }
 func BenchmarkCBCASTRun(b *testing.B)                 { benchsuite.CBCASTRun(b) }
 func BenchmarkLiveConfirmLatency(b *testing.B)        { benchsuite.LiveConfirmLatency(b) }
+func BenchmarkStageLatencyBreakdown(b *testing.B)     { benchsuite.StageLatencyBreakdown(b) }
+func BenchmarkLifecycleOverhead(b *testing.B)         { benchsuite.LifecycleOverhead(b) }
 
 // ---- Ablations ----
 

@@ -16,6 +16,8 @@
 //	/metrics     live counters, gauges and histograms (Prometheus text)
 //	/status      this member's protocol state (view, vectors, buffers)
 //	/events      recent trace events (inbox drops and other omissions)
+//	/trace       per-message lifecycle spans: recent completed plus the
+//	             slowest in-flight, waiting ones with their blocking MIDs
 //	/debug/vars  the same registry as expvar JSON
 //	/debug/pprof CPU/heap/goroutine profiles
 //
@@ -26,6 +28,7 @@ package main
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"expvar"
 	"flag"
 	"fmt"
@@ -35,11 +38,13 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"urcgc/internal/core"
+	"urcgc/internal/lifecycle"
 	"urcgc/internal/mid"
 	"urcgc/internal/obs"
 	"urcgc/internal/rt"
@@ -51,8 +56,9 @@ func main() {
 		peers   = flag.String("peers", "", "comma-separated member addresses, index = identity")
 		k       = flag.Int("k", 3, "K parameter")
 		round   = flag.Duration("round", 20*time.Millisecond, "round duration")
-		chatter = flag.Duration("chatter", 0, "generate a synthetic message this often (0 = stdin only)")
-		metrics = flag.String("metrics", "127.0.0.1:0", "HTTP address for /metrics, /status, /events, /debug/vars and /debug/pprof (empty disables)")
+		chatter   = flag.Duration("chatter", 0, "generate a synthetic message this often (0 = stdin only)")
+		metrics   = flag.String("metrics", "127.0.0.1:0", "HTTP address for /metrics, /status, /events, /trace, /debug/vars and /debug/pprof (empty disables)")
+		traceSlow = flag.Duration("trace-slow", time.Second, "flag a message stuck waiting longer than this on /trace (0 disables lifecycle tracing)")
 	)
 	flag.Parse()
 
@@ -65,6 +71,10 @@ func main() {
 		addrs[i] = strings.TrimSpace(addrs[i])
 	}
 	reg := obs.New()
+	var lcOpts *lifecycle.Options
+	if *traceSlow > 0 {
+		lcOpts = &lifecycle.Options{SlowThreshold: *traceSlow}
+	}
 	node, err := rt.NewUDPNode(rt.UDPConfig{
 		Config: core.Config{
 			N: len(addrs), K: *k, R: 2**k + 2, SelfExclusion: true,
@@ -73,6 +83,7 @@ func main() {
 		Peers:         addrs,
 		RoundDuration: *round,
 		Metrics:       reg,
+		Lifecycle:     lcOpts,
 		Logf:          log.Printf,
 	})
 	if err != nil {
@@ -95,8 +106,15 @@ func main() {
 	shutdown := func(why string) {
 		fmt.Printf("\n--- %s: shutdown summary (member %d) ---\n", why, *self)
 		reg.WriteSummary(os.Stdout)
+		if tr := node.Lifecycle(); tr != nil {
+			if c := tr.Counts(); c.Completed > 0 {
+				fmt.Printf("--- slowest completed message spans (of %d) ---\n", c.Completed)
+				tr.WriteSlowest(os.Stdout, 5)
+			}
+		}
 		if evs := reg.Events().Events(); len(evs) > 0 {
-			fmt.Printf("--- recent events (%d of %d total) ---\n", len(evs), reg.Events().Total())
+			fmt.Printf("--- recent events (%d of %d total, %d dropped) ---\n",
+				len(evs), reg.Events().Total(), reg.Events().Dropped())
 			reg.Events().Write(os.Stdout)
 		}
 		node.Stop()
@@ -194,7 +212,25 @@ func serveMetrics(addr string, reg *obs.Registry, node *rt.UDPNode) error {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/events", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		reg.Events().Write(w)
+		evs := reg.Events().Events()
+		fmt.Fprintf(w, "events total=%d dropped=%d shown=%d\n",
+			reg.Events().Total(), reg.Events().Dropped(), len(evs))
+		for _, e := range evs {
+			fmt.Fprintf(w, "%s %s\n", e.At.Format("15:04:05.000"), e.Msg)
+		}
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		tr := node.Lifecycle()
+		if tr == nil {
+			http.Error(w, "lifecycle tracing disabled (-trace-slow 0)", http.StatusNotFound)
+			return
+		}
+		slowN := queryInt(r, "slow", 10)
+		recentN := queryInt(r, "recent", 25)
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(tr.Report(slowN, recentN))
 	})
 	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel := context.WithTimeout(r.Context(), 2*time.Second)
@@ -214,6 +250,15 @@ func serveMetrics(addr string, reg *obs.Registry, node *rt.UDPNode) error {
 		fmt.Fprintf(w, "stats      %+v\n", st.Stats)
 	})
 	go func() { _ = http.Serve(ln, mux) }()
-	fmt.Printf("observability at http://%s/metrics (also /status, /events, /debug/vars, /debug/pprof)\n", ln.Addr())
+	fmt.Printf("observability at http://%s/metrics (also /status, /events, /trace, /debug/vars, /debug/pprof)\n", ln.Addr())
 	return nil
+}
+
+// queryInt reads a positive integer query parameter with a default.
+func queryInt(r *http.Request, key string, def int) int {
+	v, err := strconv.Atoi(r.URL.Query().Get(key))
+	if err != nil || v < 0 {
+		return def
+	}
+	return v
 }

@@ -53,6 +53,8 @@ func Baseline() []Case {
 		{"VectorClockDeliverable", VectorClockDeliverable},
 		{"CBCASTRun", CBCASTRun},
 		{"LiveConfirmLatency", LiveConfirmLatency},
+		{"StageLatencyBreakdown", StageLatencyBreakdown},
+		{"LifecycleOverhead", LifecycleOverhead},
 	}
 }
 

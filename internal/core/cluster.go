@@ -149,6 +149,16 @@ func NewCluster(cc ClusterConfig) (*Cluster, error) {
 	for i := 0; i < cc.N; i++ {
 		id := mid.ProcID(i)
 		cb := Callbacks{
+			OnBroadcast: func(m *causal.Message) {
+				if c.Trace != nil {
+					c.Trace.Broadcast(eng.Now(), id, m.ID)
+				}
+			},
+			OnWait: func(m *causal.Message, missing mid.DepList) {
+				if c.Trace != nil {
+					c.Trace.Wait(eng.Now(), id, m.ID, missing)
+				}
+			},
 			OnProcess: func(m *causal.Message) {
 				c.ProcessedLog[id] = append(c.ProcessedLog[id], m.ID)
 				c.Delay.Processed(m.ID, eng.Now())

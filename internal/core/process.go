@@ -153,6 +153,23 @@ type Transport interface {
 // process; the simulator path leaves the observability fields nil and is
 // untouched by them.
 type Callbacks struct {
+	// OnGenerate is invoked when Submit accepts a user message, before it
+	// is queued for its broadcast round — the "generated" lifecycle stage.
+	OnGenerate func(m *causal.Message)
+	// OnBroadcast is invoked when a queued user message actually leaves
+	// the outbox onto the wire (broadcast may lag generation by rounds:
+	// one message per subrun, deferred further by flow control).
+	OnBroadcast func(m *causal.Message)
+	// OnWait is invoked when a received message parks in the waiting list
+	// because its causal dependencies are not yet satisfied. missing
+	// lists the unmet dependencies; it is backed by a scratch buffer
+	// reused across calls, so the callee must clone it to retain it.
+	OnWait func(m *causal.Message, missing mid.DepList)
+	// OnStable is invoked when a full-group decision advances the local
+	// stability watermark: every message (q, s) with s <= clean[q] is now
+	// uniformly stable (processed at every covered live member). The
+	// callee owns clean.
+	OnStable func(clean mid.SeqVector)
 	// OnProcess is invoked exactly once per message this process
 	// processes, in processing (causal) order.
 	OnProcess func(m *causal.Message)
@@ -223,6 +240,10 @@ type Process struct {
 	recoveryFailures  int
 	lastProgress      uint64 // processed-sum at the last decision, for the R rule
 	recoveryRequested bool
+
+	// missScratch backs the missing-dependency list handed to OnWait, so
+	// steady-state tracing costs no allocation per waiting message.
+	missScratch mid.DepList
 
 	// Counters for reports and tests.
 	Stats Stats
@@ -328,6 +349,9 @@ func (p *Process) Submit(payload []byte, deps mid.DepList) (mid.MID, error) {
 		Payload: payload,
 	}
 	p.outbox = append(p.outbox, m)
+	if p.cb.OnGenerate != nil {
+		p.cb.OnGenerate(m)
+	}
 	return m.ID, nil
 }
 
@@ -416,6 +440,9 @@ func (p *Process) startSubrun(s int64) {
 		p.outbox = p.outbox[1:]
 		p.Stats.Generated++
 		p.tp.Broadcast(&wire.Data{Msg: *m})
+		if p.cb.OnBroadcast != nil {
+			p.cb.OnBroadcast(m)
+		}
 		p.processMsg(m)
 		p.cascade()
 	}
@@ -513,6 +540,27 @@ func (p *Process) handleData(m *causal.Message) {
 		return
 	}
 	p.wait.Add(m)
+	if p.cb.OnWait != nil {
+		p.cb.OnWait(m, p.missingDeps(m))
+	}
+}
+
+// missingDeps returns m's currently unmet effective dependencies. The
+// result reuses a scratch buffer: it is valid only until the next call,
+// and callees must clone it to retain it (the OnWait contract).
+func (p *Process) missingDeps(m *causal.Message) mid.DepList {
+	missing := p.missScratch[:0]
+	for _, d := range m.Deps {
+		if p.tracker.LastProcessed(d.Proc) < d.Seq {
+			missing = append(missing, d)
+		}
+	}
+	if prev := m.ID.Prev(); !prev.IsZero() && p.tracker.LastProcessed(prev.Proc) < prev.Seq && !missing.Covers(prev) {
+		missing = append(missing, prev)
+	}
+	missing = missing.Canonical()
+	p.missScratch = missing
+	return missing
 }
 
 func (p *Process) processMsg(m *causal.Message) {
@@ -580,6 +628,9 @@ func (p *Process) applyDecision(d *wire.Decision) {
 		clean := d.CleanTo.Clone()
 		clean.MinInto(p.tracker.Processed())
 		p.hist.CleanTo(clean)
+		if p.cb.OnStable != nil {
+			p.cb.OnStable(clean)
+		}
 
 		// Orphaned sequences: a gap above the best alive holder of a
 		// crashed root's sequence can never be filled; the group destroys

@@ -1,0 +1,173 @@
+package lifecycle
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"urcgc/internal/mid"
+	"urcgc/internal/sim"
+	"urcgc/internal/trace"
+)
+
+// Breakdown is the per-stage latency table of a simulated run, computed
+// from a trace.Recorder log alone — the simulator counterpart of the live
+// Tracer's histograms, in virtual RTD units. It reproduces the delivery-
+// latency breakdown tables of the CBCAST and Psync evaluations for this
+// protocol: where between emission and uniform coverage a message spends
+// its rounds.
+type Breakdown struct {
+	// Messages is how many generated messages the log accounts for.
+	Messages int
+	// MeanEmitToBroadcast is generate→broadcast: outbox residence, i.e.
+	// round alignment plus Section 6 flow control.
+	MeanEmitToBroadcast float64
+	// MeanEmitToFirstProcess is generate→first processing anywhere (the
+	// origin processes its own message at broadcast, so this usually
+	// equals MeanEmitToBroadcast; it differs when the origin crashes).
+	MeanEmitToFirstProcess float64
+	// MeanEmitToUniform is generate→processed at every survivor — the
+	// operational uniform-atomicity latency (Definition 3.2). Only
+	// messages every survivor processed contribute.
+	MeanEmitToUniform float64
+	// P99EmitToUniform is the 99th percentile of the same distribution.
+	P99EmitToUniform float64
+	// UniformCount is how many messages reached every survivor.
+	UniformCount int
+	// MeanWait and P99Wait describe waiting-list residence: EvWait at a
+	// process → that process's EvProcess of the same message.
+	MeanWait float64
+	P99Wait  float64
+	// WaitCount is how many (process, message) pairs ever waited.
+	WaitCount int
+	// Discarded is how many messages were destroyed by agreement anywhere.
+	Discarded int
+}
+
+// Render formats the breakdown as an aligned table (RTD units).
+func (b Breakdown) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "stage breakdown (%d messages, RTD units)\n", b.Messages)
+	fmt.Fprintf(&sb, "  %-28s %8.3f\n", "emit -> broadcast (mean)", b.MeanEmitToBroadcast)
+	fmt.Fprintf(&sb, "  %-28s %8.3f\n", "emit -> first process (mean)", b.MeanEmitToFirstProcess)
+	fmt.Fprintf(&sb, "  %-28s %8.3f  (n=%d)\n", "emit -> uniform (mean)", b.MeanEmitToUniform, b.UniformCount)
+	fmt.Fprintf(&sb, "  %-28s %8.3f\n", "emit -> uniform (p99)", b.P99EmitToUniform)
+	fmt.Fprintf(&sb, "  %-28s %8.3f  (n=%d)\n", "waitlist residence (mean)", b.MeanWait, b.WaitCount)
+	fmt.Fprintf(&sb, "  %-28s %8.3f\n", "waitlist residence (p99)", b.P99Wait)
+	fmt.Fprintf(&sb, "  %-28s %8d\n", "discarded", b.Discarded)
+	return sb.String()
+}
+
+// FromRecorder computes the stage breakdown from a simulator trace. It
+// needs only the recorder's own event kinds: EvGenerate/EvBroadcast open
+// the span, EvWait/EvProcess locate the waiting stage per process, and the
+// survivor set (no EvCrash/EvLeave) defines uniform coverage.
+func FromRecorder(rec *trace.Recorder) Breakdown {
+	var b Breakdown
+	halted := map[mid.ProcID]bool{}
+	for _, e := range rec.Events {
+		if e.Kind == trace.EvCrash || e.Kind == trace.EvLeave {
+			halted[e.Proc] = true
+		}
+	}
+	survivors := 0
+	for q := 0; q < rec.N; q++ {
+		if !halted[mid.ProcID(q)] {
+			survivors++
+		}
+	}
+
+	type key struct {
+		p mid.ProcID
+		m mid.MID
+	}
+	generated := map[mid.MID]sim.Time{}
+	broadcast := map[mid.MID]sim.Time{}
+	firstProc := map[mid.MID]sim.Time{}
+	lastProc := map[mid.MID]sim.Time{} // over survivors only
+	coverage := map[mid.MID]int{}      // survivor processes that processed it
+	waitAt := map[key]sim.Time{}
+	discarded := map[mid.MID]bool{}
+	var waits []float64
+
+	for _, e := range rec.Events {
+		switch e.Kind {
+		case trace.EvGenerate:
+			if _, dup := generated[e.Msg]; !dup {
+				generated[e.Msg] = e.At
+			}
+		case trace.EvBroadcast:
+			if _, dup := broadcast[e.Msg]; !dup {
+				broadcast[e.Msg] = e.At
+			}
+		case trace.EvWait:
+			k := key{e.Proc, e.Msg}
+			if _, dup := waitAt[k]; !dup {
+				waitAt[k] = e.At
+			}
+		case trace.EvProcess:
+			if at, ok := firstProc[e.Msg]; !ok || e.At < at {
+				firstProc[e.Msg] = e.At
+			}
+			if !halted[e.Proc] {
+				coverage[e.Msg]++
+				if e.At > lastProc[e.Msg] {
+					lastProc[e.Msg] = e.At
+				}
+			}
+			if at, ok := waitAt[key{e.Proc, e.Msg}]; ok {
+				waits = append(waits, (e.At - at).RTD())
+				delete(waitAt, key{e.Proc, e.Msg})
+			}
+		case trace.EvDiscard:
+			discarded[e.Msg] = true
+		}
+	}
+
+	b.Messages = len(generated)
+	b.Discarded = len(discarded)
+	var uniform []float64
+	var sumBcast, sumFirst float64
+	nBcast, nFirst := 0, 0
+	for m, g := range generated {
+		if at, ok := broadcast[m]; ok {
+			sumBcast += (at - g).RTD()
+			nBcast++
+		}
+		if at, ok := firstProc[m]; ok {
+			sumFirst += (at - g).RTD()
+			nFirst++
+		}
+		if survivors > 0 && coverage[m] == survivors {
+			uniform = append(uniform, (lastProc[m] - g).RTD())
+		}
+	}
+	if nBcast > 0 {
+		b.MeanEmitToBroadcast = sumBcast / float64(nBcast)
+	}
+	if nFirst > 0 {
+		b.MeanEmitToFirstProcess = sumFirst / float64(nFirst)
+	}
+	b.UniformCount = len(uniform)
+	b.MeanEmitToUniform, b.P99EmitToUniform = meanP99(uniform)
+	b.WaitCount = len(waits)
+	b.MeanWait, b.P99Wait = meanP99(waits)
+	return b
+}
+
+// meanP99 returns the mean and an upper-bound p99 of the samples.
+func meanP99(xs []float64) (mean, p99 float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	sort.Float64s(xs)
+	idx := (99*len(xs) + 99) / 100
+	if idx > len(xs) {
+		idx = len(xs)
+	}
+	return sum / float64(len(xs)), xs[idx-1]
+}

@@ -58,6 +58,14 @@ func (l *EventLog) Total() int64 {
 	return l.total
 }
 
+// Dropped returns how many events were overwritten by ring wraparound.
+// Total − Dropped is always the number of retained events.
+func (l *EventLog) Dropped() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}
+
 // Events returns the retained events, oldest first.
 func (l *EventLog) Events() []Event {
 	l.mu.Lock()

@@ -289,6 +289,12 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 		emitType(w, baseName(name), "counter", &lastType)
 		fmt.Fprintf(w, "%s %d\n", name, cs[name].Value())
 	}
+	// The event log's own accounting, so scrapes can tell how much of the
+	// trace ring has wrapped without hitting the /events endpoint.
+	if r.events != nil {
+		fmt.Fprintf(w, "# TYPE obs_events_total counter\nobs_events_total %d\n", r.events.Total())
+		fmt.Fprintf(w, "# TYPE obs_events_dropped_total counter\nobs_events_dropped_total %d\n", r.events.Dropped())
+	}
 	lastType = ""
 	for _, name := range gauges {
 		emitType(w, baseName(name), "gauge", &lastType)

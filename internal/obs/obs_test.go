@@ -182,3 +182,50 @@ func TestThrottle(t *testing.T) {
 		t.Error("suppressed count not reported after interval")
 	}
 }
+
+func TestEventLogConcurrentWraparound(t *testing.T) {
+	const (
+		capacity   = 64
+		goroutines = 8
+		perG       = 500
+	)
+	l := NewEventLog(capacity)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				l.Addf("g%d event %d", g, i)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	total, dropped := l.Total(), l.Dropped()
+	if want := int64(goroutines * perG); total != want {
+		t.Fatalf("Total = %d, want %d", total, want)
+	}
+	if want := int64(goroutines*perG - capacity); dropped != want {
+		t.Fatalf("Dropped = %d, want %d (total-capacity)", dropped, want)
+	}
+	if evs := l.Events(); len(evs) != capacity {
+		t.Fatalf("retained %d events, want %d", len(evs), capacity)
+	}
+	if got := total - dropped; got != capacity {
+		t.Fatalf("Total-Dropped = %d, want retained count %d", got, capacity)
+	}
+}
+
+func TestPrometheusExportsEventCounters(t *testing.T) {
+	r := New()
+	r.Events().Addf("one")
+	r.Events().Addf("two")
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	for _, want := range []string{"obs_events_total 2", "obs_events_dropped_total 0"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("export missing %q in:\n%s", want, b.String())
+		}
+	}
+}

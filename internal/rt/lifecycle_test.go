@@ -1,0 +1,171 @@
+package rt
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"urcgc/internal/causal"
+	"urcgc/internal/core"
+	"urcgc/internal/lifecycle"
+	"urcgc/internal/mid"
+	"urcgc/internal/obs"
+	"urcgc/internal/wire"
+)
+
+// nopTransport drops every PDU: the receive path under test never replies.
+type nopTransport struct{}
+
+func (nopTransport) Send(mid.ProcID, wire.PDU) {}
+func (nopTransport) Broadcast(wire.PDU)        {}
+
+// driveWaitCascade measures the allocations of the park-then-cascade
+// deliver path on a bare process: each run parks (1, s+1) on its unmet
+// implicit predecessor, then delivers (1, s) and cascades both. The PDUs
+// are prebuilt so only the deliver path itself is measured.
+func driveWaitCascade(t *testing.T, cb core.Callbacks) float64 {
+	t.Helper()
+	p, err := core.NewProcess(0, core.Config{N: 3, K: 3, R: 8, SelfExclusion: true},
+		nopTransport{}, cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const runs = 500
+	payload := make([]byte, 16)
+	msgs := make([]*wire.Data, 2*(runs+2))
+	for i := range msgs {
+		msgs[i] = &wire.Data{Msg: causal.Message{
+			ID:      mid.MID{Proc: 1, Seq: mid.Seq(i + 1)},
+			Payload: payload,
+		}}
+	}
+	// Warm the scratch buffer and containers outside the measured region.
+	p.Recv(1, msgs[1])
+	p.Recv(1, msgs[0])
+	i := 2
+	got := testing.AllocsPerRun(runs, func() {
+		p.Recv(1, msgs[i+1]) // parks: implicit dep (1, i) missing
+		p.Recv(1, msgs[i])   // ready: processes, cascade releases i+1
+		i += 2
+	})
+	if want := mid.Seq(2 * (runs + 2)); p.Processed()[1] != want {
+		t.Fatalf("processed up to %d, want %d (driver bug)", p.Processed()[1], want)
+	}
+	return got
+}
+
+// TestLifecycleDisabledAllocFree proves the overhead contract from two
+// directions. With tracing disabled, installLifecycle is the identity and
+// the nil-gated OnWait/OnStable branches never run, so the deliver path
+// costs exactly what it did before this layer existed — pinned against the
+// pre-existing EffectiveDeps clones in the readiness checks so tracing
+// creep into the disabled path shows up as a budget blowout. And the one
+// new computation the wait path can run, missingDeps, must be free: with a
+// no-op OnWait installed, the scratch buffer keeps the delta at zero
+// allocations per message.
+func TestLifecycleDisabledAllocFree(t *testing.T) {
+	if cb := installLifecycle(nil, core.Callbacks{}); cb.OnGenerate != nil ||
+		cb.OnBroadcast != nil || cb.OnWait != nil || cb.OnStable != nil {
+		t.Fatal("installLifecycle(nil, ...) must not install stage hooks")
+	}
+	disabled := driveWaitCascade(t, core.Callbacks{})
+	// The park+deliver pair's pre-existing cost: EffectiveDeps clones in
+	// Ready/Process plus waitlist bookkeeping. Not zero, but fixed; the
+	// lifecycle branches must add nothing to it.
+	if disabled > 13 {
+		t.Errorf("deliver path with tracing disabled allocates %.2f/op, budget 13", disabled)
+	}
+	withWait := driveWaitCascade(t, core.Callbacks{
+		OnWait: func(m *causal.Message, missing mid.DepList) {},
+	})
+	if extra := withWait - disabled; extra > 0.5 {
+		t.Errorf("missingDeps adds %.2f allocs/op over the disabled path, want 0 (scratch regression)", extra)
+	}
+}
+
+// TestLiveLifecycleTrace runs the in-process mesh with tracing enabled and
+// checks a message's span picks up every stage, including uniform
+// stability, and that the stage histograms fill.
+func TestLiveLifecycleTrace(t *testing.T) {
+	reg := obs.New()
+	cfg := liveConfig(3)
+	cfg.Metrics = reg
+	cfg.Lifecycle = &lifecycle.Options{SlowThreshold: 10 * time.Second}
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for i := 0; i < 5; i++ {
+		if _, err := c.Node(0).Send(ctx, []byte("hello"), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	tr := c.Node(0).Lifecycle()
+	if tr == nil {
+		t.Fatal("Lifecycle() = nil with tracing enabled")
+	}
+	// Stability needs the full-group clean_to to circulate; poll for it.
+	var span lifecycle.Span
+	deadline := time.Now().Add(8 * time.Second)
+	for {
+		found := false
+		for _, s := range tr.TopSlowest(16) {
+			if s.ID == (mid.MID{Proc: 0, Seq: 1}) {
+				span, found = s, true
+			}
+		}
+		if found && !span.StableAt.IsZero() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("span (0,1) never reached stability; have %+v", span)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if span.GeneratedAt.IsZero() || span.BroadcastAt.IsZero() || span.ProcessedAt.IsZero() || span.DecidedAt.IsZero() {
+		t.Fatalf("own-message span missing stages: %+v", span)
+	}
+	if span.Outcome != lifecycle.Processed {
+		t.Fatalf("outcome = %v", span.Outcome)
+	}
+	if c := tr.Counts(); c.Completed < 5 {
+		t.Fatalf("node 0 completed %d spans, want >= 5", c.Completed)
+	}
+	// A remote member saw the same messages without the origin-only stages.
+	if c1 := c.Node(1).Lifecycle().Counts(); c1.Completed < 5 {
+		t.Fatalf("node 1 completed %d spans, want >= 5", c1.Completed)
+	}
+	if h := reg.Histogram(obs.Labeled("lifecycle_emit_to_process_seconds", "node", "0"), nil); h.Count() < 5 {
+		t.Fatalf("emit_to_process histogram count = %d", h.Count())
+	}
+	if h := reg.Histogram(obs.Labeled("lifecycle_stability_lag_seconds", "node", "0", "sender", "0"), nil); h.Count() == 0 {
+		t.Fatal("stability_lag histogram empty")
+	}
+	r := tr.Report(5, 5)
+	if r.Counts.Completed < 5 || len(r.Recent) == 0 {
+		t.Fatalf("report = %+v", r)
+	}
+	var sb strings.Builder
+	tr.WriteSlowest(&sb, 5)
+	if !strings.Contains(sb.String(), "end-to-end") {
+		t.Fatalf("WriteSlowest output:\n%s", sb.String())
+	}
+}
+
+// TestLifecycleDisabledByDefault pins the default-off contract.
+func TestLifecycleDisabledByDefault(t *testing.T) {
+	c, err := NewCluster(liveConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Node(0).Lifecycle() != nil {
+		t.Fatal("Lifecycle() non-nil without opting in")
+	}
+}

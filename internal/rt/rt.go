@@ -18,6 +18,7 @@ import (
 
 	"urcgc/internal/causal"
 	"urcgc/internal/core"
+	"urcgc/internal/lifecycle"
 	"urcgc/internal/mid"
 	"urcgc/internal/obs"
 	"urcgc/internal/wire"
@@ -39,6 +40,10 @@ type Config struct {
 	// histograms for every node (per-node series carry a node label) and
 	// trace events for by-design omissions. Nil costs nothing.
 	Metrics *obs.Registry
+	// Lifecycle, when non-nil, enables per-message lifecycle tracing on
+	// every node (spans readable via Node.Lifecycle, histograms fed into
+	// Metrics when set). Nil keeps the hot path free of stage callbacks.
+	Lifecycle *lifecycle.Options
 }
 
 func (c *Config) fill() {
@@ -177,10 +182,11 @@ func (c *Cluster) clock() {
 // Node is one live group member: a core.Process owned by a single
 // goroutine, fed ticks, datagrams and user commands through its inbox.
 type Node struct {
-	c    *Cluster
-	id   mid.ProcID
-	proc *core.Process
-	obs  *nodeObs
+	c      *Cluster
+	id     mid.ProcID
+	proc   *core.Process
+	obs    *nodeObs
+	tracer *lifecycle.Tracer
 
 	inbox chan func()
 	ind   chan Indication
@@ -193,7 +199,7 @@ type Node struct {
 }
 
 func newNode(c *Cluster, id mid.ProcID) *Node {
-	return &Node{
+	n := &Node{
 		c:       c,
 		id:      id,
 		obs:     newNodeObs(c.cfg.Metrics, id),
@@ -201,6 +207,10 @@ func newNode(c *Cluster, id mid.ProcID) *Node {
 		ind:     make(chan Indication, c.cfg.IndicationDepth),
 		waiters: make(map[mid.MID]chan struct{}),
 	}
+	if c.cfg.Lifecycle != nil {
+		n.tracer = lifecycle.New(id, c.cfg.N, *c.cfg.Lifecycle, c.cfg.Metrics)
+	}
+	return n
 }
 
 func (n *Node) init() error {
@@ -228,13 +238,17 @@ func (n *Node) init() error {
 			n.mu.Unlock()
 		},
 	}
-	p, err := core.NewProcess(n.id, n.c.cfg.Config, meshTransport{n: n}, n.obs.install(cb))
+	p, err := core.NewProcess(n.id, n.c.cfg.Config, meshTransport{n: n}, installLifecycle(n.tracer, n.obs.install(cb)))
 	if err != nil {
 		return err
 	}
 	n.proc = p
 	return nil
 }
+
+// Lifecycle returns the node's message-lifecycle tracer, or nil when
+// tracing is disabled. Safe from any goroutine.
+func (n *Node) Lifecycle() *lifecycle.Tracer { return n.tracer }
 
 // enqueue hands a closure to the node goroutine; a full inbox drops it
 // (datagram semantics). It reports whether the closure was accepted.

@@ -11,6 +11,7 @@ import (
 
 	"urcgc/internal/causal"
 	"urcgc/internal/core"
+	"urcgc/internal/lifecycle"
 	"urcgc/internal/mid"
 	"urcgc/internal/obs"
 	"urcgc/internal/wire"
@@ -38,6 +39,10 @@ type UDPConfig struct {
 	// histograms for this member plus socket-level send/recv/drop
 	// accounting. Nil costs nothing.
 	Metrics *obs.Registry
+	// Lifecycle, when non-nil, enables per-message lifecycle tracing
+	// (spans readable via Lifecycle(), stage histograms fed into Metrics
+	// when set). Nil keeps the hot path free of stage callbacks.
+	Lifecycle *lifecycle.Options
 	// Logf receives throttled operator-visible warnings: malformed or
 	// oversize datagrams, socket errors — omissions that would otherwise
 	// be silently recovered and invisible. Nil means log.Printf.
@@ -58,12 +63,13 @@ func (c *UDPConfig) fill() {
 
 // UDPNode is one live group member on a real network.
 type UDPNode struct {
-	cfg   UDPConfig
-	proc  *core.Process
-	conn  *net.UDPConn
-	peers []*net.UDPAddr
-	obs   *nodeObs
-	sock  *sockObs
+	cfg    UDPConfig
+	proc   *core.Process
+	conn   *net.UDPConn
+	peers  []*net.UDPAddr
+	obs    *nodeObs
+	sock   *sockObs
+	tracer *lifecycle.Tracer
 
 	inbox chan func()
 	ind   chan Indication
@@ -194,7 +200,10 @@ func NewUDPNode(cfg UDPConfig) (*UDPNode, error) {
 			n.mu.Unlock()
 		},
 	}
-	proc, err := core.NewProcess(cfg.Self, cfg.Config, udpTransport{n: n}, n.obs.install(cb))
+	if cfg.Lifecycle != nil {
+		n.tracer = lifecycle.New(cfg.Self, cfg.N, *cfg.Lifecycle, cfg.Metrics)
+	}
+	proc, err := core.NewProcess(cfg.Self, cfg.Config, udpTransport{n: n}, installLifecycle(n.tracer, n.obs.install(cb)))
 	if err != nil {
 		conn.Close()
 		return nil, err
@@ -202,6 +211,10 @@ func NewUDPNode(cfg UDPConfig) (*UDPNode, error) {
 	n.proc = proc
 	return n, nil
 }
+
+// Lifecycle returns the member's message-lifecycle tracer, or nil when
+// tracing is disabled. Safe from any goroutine.
+func (n *UDPNode) Lifecycle() *lifecycle.Tracer { return n.tracer }
 
 // LocalAddr returns the bound UDP address (useful with port 0 in tests).
 func (n *UDPNode) LocalAddr() *net.UDPAddr { return n.conn.LocalAddr().(*net.UDPAddr) }

@@ -23,11 +23,13 @@ type Kind uint8
 
 // Event kinds.
 const (
-	EvGenerate Kind = iota + 1 // a user message entered the system at Proc
-	EvProcess                  // Proc processed Msg
-	EvDiscard                  // Proc destroyed Msg by agreement
-	EvCrash                    // Proc fail-stopped (injected)
-	EvLeave                    // Proc self-excluded
+	EvGenerate  Kind = iota + 1 // a user message entered the system at Proc
+	EvProcess                   // Proc processed Msg
+	EvDiscard                   // Proc destroyed Msg by agreement
+	EvCrash                     // Proc fail-stopped (injected)
+	EvLeave                     // Proc self-excluded
+	EvBroadcast                 // Proc's own Msg left the outbox onto the wire
+	EvWait                      // Msg parked in Proc's waiting list; Deps = unmet dependencies
 )
 
 // String implements fmt.Stringer.
@@ -43,6 +45,10 @@ func (k Kind) String() string {
 		return "crash"
 	case EvLeave:
 		return "leave"
+	case EvBroadcast:
+		return "broadcast"
+	case EvWait:
+		return "wait"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -53,8 +59,8 @@ type Event struct {
 	At   sim.Time
 	Kind Kind
 	Proc mid.ProcID
-	Msg  mid.MID     // EvGenerate/EvProcess/EvDiscard
-	Deps mid.DepList // EvGenerate only: the message's labels
+	Msg  mid.MID     // EvGenerate/EvProcess/EvDiscard/EvBroadcast/EvWait
+	Deps mid.DepList // EvGenerate: the message's labels; EvWait: the unmet deps
 }
 
 // String renders the event compactly.
@@ -62,8 +68,10 @@ func (e Event) String() string {
 	switch e.Kind {
 	case EvGenerate:
 		return fmt.Sprintf("%6.2f %-8s p%d %v deps=%v", e.At.RTD(), e.Kind, e.Proc, e.Msg, e.Deps)
-	case EvProcess, EvDiscard:
+	case EvProcess, EvDiscard, EvBroadcast:
 		return fmt.Sprintf("%6.2f %-8s p%d %v", e.At.RTD(), e.Kind, e.Proc, e.Msg)
+	case EvWait:
+		return fmt.Sprintf("%6.2f %-8s p%d %v missing=%v", e.At.RTD(), e.Kind, e.Proc, e.Msg, e.Deps)
 	default:
 		return fmt.Sprintf("%6.2f %-8s p%d", e.At.RTD(), e.Kind, e.Proc)
 	}
@@ -95,6 +103,17 @@ func (r *Recorder) Process(at sim.Time, p mid.ProcID, m mid.MID) {
 // Discard records an agreed destruction.
 func (r *Recorder) Discard(at sim.Time, p mid.ProcID, m mid.MID) {
 	r.Add(Event{At: at, Kind: EvDiscard, Proc: p, Msg: m})
+}
+
+// Broadcast records an own message leaving the outbox onto the wire.
+func (r *Recorder) Broadcast(at sim.Time, p mid.ProcID, m mid.MID) {
+	r.Add(Event{At: at, Kind: EvBroadcast, Proc: p, Msg: m})
+}
+
+// Wait records a message parking in p's waiting list; missing is cloned
+// (callers may hand a scratch-backed list, per the core OnWait contract).
+func (r *Recorder) Wait(at sim.Time, p mid.ProcID, m mid.MID, missing mid.DepList) {
+	r.Add(Event{At: at, Kind: EvWait, Proc: p, Msg: m, Deps: missing.Clone()})
 }
 
 // Crash records an injected fail-stop.
