@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench bench-smoke clean
+.PHONY: all build test race vet check bench bench-smoke chaos-smoke chaos-soak clean
 
 all: check
 
@@ -20,9 +20,21 @@ race:
 	$(GO) test -race ./internal/rt/... ./internal/core/...
 
 # check is the tier-1 gate: everything builds, vets clean, passes the
-# full suite, the rt/core packages pass under -race, and every benchmark
-# body still runs (one iteration each).
-check: vet test race bench-smoke
+# full suite, the rt/core packages pass under -race, every benchmark
+# body still runs (one iteration each), and a seeded chaos soak upholds
+# the uniform invariants under the race detector.
+check: vet test race bench-smoke chaos-smoke
+
+# chaos-smoke is the CI chaos gate: a short seeded soak (one crash, one
+# healed partition, 1/100 omission bursts, background reordering and
+# duplication) under -race, audited for uniform atomicity and ordering.
+chaos-smoke:
+	$(GO) test -race -run 'TestSmokeSoak|TestSameSeedSamePlan' -count 1 ./internal/chaos/
+
+# chaos-soak is the 60-second acceptance soak (same shape, longer wall
+# clock); also available interactively as `go run ./cmd/urcgc-chaos`.
+chaos-soak:
+	URCGC_CHAOS_SOAK=1 $(GO) test -race -run TestLongSoak -count 1 -timeout 10m -v ./internal/chaos/
 
 # bench runs the full baseline suite at real benchtimes and refreshes
 # BENCH_BASELINE.json (the previous recording is preserved under

@@ -1,0 +1,352 @@
+// Package chaos soaks a live in-process cluster under a seeded wall-clock
+// fault schedule and verifies the paper's two uniform properties
+// afterwards: Uniform Ordering (causal order respected at every member)
+// and Uniform Atomicity (every decided message processed by all surviving
+// members or none). It is the wall-clock counterpart of the simulator's
+// scripted fault experiments: the faultrt schedule expands a seed into one
+// crash, one healed partition, omission bursts and background
+// reordering/duplication, the cluster runs under generated load, and a
+// faultrt.Checker audits every member's indication stream at the end.
+//
+// Determinism contract: the fault plan is a pure function of the seed
+// (Report.Schedule renders it), so a same-seed rerun faces the identical
+// scripted adversary. The realized injection trace additionally depends on
+// the datagram interleaving of the run, which wall-clock concurrency does
+// not replay; faultrt's own tests pin trace determinism for a fixed
+// consultation sequence.
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"urcgc/internal/core"
+	"urcgc/internal/faultrt"
+	"urcgc/internal/lifecycle"
+	"urcgc/internal/mid"
+	"urcgc/internal/obs"
+	"urcgc/internal/rt"
+)
+
+// Config parameterizes one soak. The zero value of every field gets a
+// usable default.
+type Config struct {
+	// Seed selects the fault schedule; same seed, same plan.
+	Seed int64
+	// N is the group size (default 5).
+	N int
+	// K is the protocol's silence threshold (default 4); the schedule's
+	// partition is kept shorter than K subruns so it heals as an omission
+	// burst instead of evicting half the group.
+	K int
+	// R is the recovery-exhaustion threshold (default 8).
+	R int
+	// Round is the wall-clock round length (default 2ms).
+	Round time.Duration
+	// Duration is the fault phase: load runs and faults fire (default 2s).
+	Duration time.Duration
+	// Settle bounds the post-fault convergence wait (default Duration).
+	Settle time.Duration
+	// SendEvery is each member's submission cadence (default 4*Round).
+	SendEvery time.Duration
+	// SendTimeout abandons a confirm wait (default max(100*Round, 200ms));
+	// abandoned sends are legal — the message stays in flight.
+	SendTimeout time.Duration
+	// Metrics, when non-nil, receives the cluster's and the injector's
+	// instruments (faultrt_injected_total{kind} among them).
+	Metrics *obs.Registry
+	// Lifecycle, when non-nil, enables per-message tracing; stuck-span
+	// watchdog lines name the injected fault that plausibly caused the
+	// stall.
+	Lifecycle *lifecycle.Options
+	// Logf, when non-nil, narrates progress.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) fill() Config {
+	if c.N == 0 {
+		c.N = 5
+	}
+	if c.K == 0 {
+		c.K = 4
+	}
+	if c.R == 0 {
+		c.R = 8
+	}
+	if c.Round == 0 {
+		c.Round = 2 * time.Millisecond
+	}
+	if c.Duration == 0 {
+		c.Duration = 2 * time.Second
+	}
+	if c.Settle == 0 {
+		c.Settle = c.Duration
+	}
+	if c.SendEvery == 0 {
+		c.SendEvery = 4 * c.Round
+	}
+	if c.SendTimeout == 0 {
+		c.SendTimeout = 100 * c.Round
+		if c.SendTimeout < 200*time.Millisecond {
+			c.SendTimeout = 200 * time.Millisecond
+		}
+	}
+	return c
+}
+
+// Report is the outcome of one soak.
+type Report struct {
+	// Schedule is the seed-deterministic fault plan the run executed.
+	Schedule *faultrt.Schedule
+	// Injected counts realized injections per fault kind.
+	Injected map[string]int64
+	// Sent and Confirmed count submissions and completed confirm waits.
+	Sent, Confirmed int64
+	// Survivors are the members neither fail-stopped nor self-excluded.
+	Survivors []mid.ProcID
+	// Killed are the fail-stopped members (the schedule's crash).
+	Killed []mid.ProcID
+	// Left maps self-excluded members to their protocol-level reason.
+	Left map[mid.ProcID]core.LeaveReason
+	// Processed counts indications per member.
+	Processed map[mid.ProcID]int
+	// Converged reports whether the survivors' histories stabilized at the
+	// same length inside the settle window.
+	Converged bool
+	// Violations are the invariant breaches found; empty means clean.
+	Violations []faultrt.Violation
+}
+
+// Ok reports whether the run upheld both uniform properties.
+func (r *Report) Ok() bool { return len(r.Violations) == 0 }
+
+// String renders a human summary.
+func (r *Report) String() string {
+	var b strings.Builder
+	b.WriteString(r.Schedule.String())
+	fmt.Fprintf(&b, "sent=%d confirmed=%d\n", r.Sent, r.Confirmed)
+	for _, p := range r.Survivors {
+		fmt.Fprintf(&b, "  survivor p%d processed %d\n", p, r.Processed[p])
+	}
+	for _, p := range r.Killed {
+		fmt.Fprintf(&b, "  killed p%d processed %d\n", p, r.Processed[p])
+	}
+	for p, reason := range r.Left {
+		fmt.Fprintf(&b, "  left p%d (%v) processed %d\n", p, reason, r.Processed[p])
+	}
+	kinds := make([]string, 0, len(r.Injected))
+	for k := range r.Injected {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Fprintf(&b, "  injected %s: %d\n", k, r.Injected[k])
+	}
+	if !r.Converged {
+		b.WriteString("  WARNING: survivors did not converge inside the settle window\n")
+	}
+	if r.Ok() {
+		b.WriteString("invariants: uniform atomicity and uniform ordering hold\n")
+	} else {
+		fmt.Fprintf(&b, "invariants: %d VIOLATIONS\n", len(r.Violations))
+		for _, v := range r.Violations {
+			fmt.Fprintf(&b, "  %v\n", v)
+		}
+	}
+	return b.String()
+}
+
+// Run executes one soak: build the schedule, start the cluster with the
+// fault hook at its transport boundary, generate load through the fault
+// phase, let the survivors settle, then audit every history. ctx aborts
+// the fault phase early (the audit still runs on what happened).
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	cfg = cfg.fill()
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	sched := faultrt.NewSchedule(cfg.Seed, cfg.N, cfg.Duration, cfg.Round, cfg.K)
+	logf("%s", sched)
+	hook := faultrt.NewHook(sched.Injector(), cfg.Metrics)
+	cl, err := rt.NewCluster(rt.Config{
+		Config:        core.Config{N: cfg.N, K: cfg.K, R: cfg.R},
+		RoundDuration: cfg.Round,
+		Metrics:       cfg.Metrics,
+		Lifecycle:     cfg.Lifecycle,
+		Fault:         hook,
+	})
+	if err != nil {
+		return nil, err
+	}
+	checker := faultrt.NewChecker()
+	cl.Start()
+
+	// Consumers: one per member, feeding the indication stream into the
+	// checker; after drainStop they empty whatever is still buffered.
+	var consumers sync.WaitGroup
+	drainStop := make(chan struct{})
+	for i := 0; i < cfg.N; i++ {
+		node := cl.Node(mid.ProcID(i))
+		consumers.Add(1)
+		go func() {
+			defer consumers.Done()
+			for {
+				select {
+				case ind := <-node.Indications():
+					checker.Record(node.ID(), &ind.Msg)
+				case <-drainStop:
+					for {
+						select {
+						case ind := <-node.Indications():
+							checker.Record(node.ID(), &ind.Msg)
+						default:
+							return
+						}
+					}
+				}
+			}
+		}()
+	}
+
+	// Load: every member submits on a fixed cadence through the fault
+	// phase. Sends fail fast on a fail-stopped member and are abandoned
+	// after SendTimeout otherwise — both legal under the fault model.
+	loadCtx, cancelLoad := context.WithCancel(ctx)
+	var sent, confirmed atomic.Int64
+	var load sync.WaitGroup
+	for i := 0; i < cfg.N; i++ {
+		node := cl.Node(mid.ProcID(i))
+		load.Add(1)
+		go func() {
+			defer load.Done()
+			tick := time.NewTicker(cfg.SendEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-loadCtx.Done():
+					return
+				case <-tick.C:
+				}
+				sctx, cancel := context.WithTimeout(loadCtx, cfg.SendTimeout)
+				sent.Add(1)
+				if _, err := node.SendCausal(sctx, []byte("chaos")); err == nil {
+					confirmed.Add(1)
+				}
+				cancel()
+			}
+		}()
+	}
+
+	select {
+	case <-time.After(cfg.Duration):
+	case <-ctx.Done():
+	}
+	cancelLoad()
+	load.Wait()
+	logf("fault phase over: sent=%d confirmed=%d; settling", sent.Load(), confirmed.Load())
+
+	// Settle: poll until every survivor's history has the same length and
+	// has stopped growing — the protocol has recovered everything the
+	// faults delayed — or the settle budget runs out.
+	survivors := surviving(cl, cfg.N)
+	converged := false
+	poll := 20 * cfg.Round
+	if poll < 10*time.Millisecond {
+		poll = 10 * time.Millisecond
+	}
+	deadline := time.Now().Add(cfg.Settle)
+	prev := counts(checker, survivors)
+	for time.Now().Before(deadline) {
+		time.Sleep(poll)
+		survivors = surviving(cl, cfg.N)
+		cur := counts(checker, survivors)
+		if equalAll(cur) && sameCounts(prev, cur) {
+			converged = true
+			break
+		}
+		prev = cur
+	}
+	cl.Stop()
+	close(drainStop)
+	consumers.Wait()
+
+	rep := &Report{
+		Schedule:  sched,
+		Injected:  hook.Injected(),
+		Sent:      sent.Load(),
+		Confirmed: confirmed.Load(),
+		Left:      make(map[mid.ProcID]core.LeaveReason),
+		Processed: make(map[mid.ProcID]int),
+		Converged: converged,
+	}
+	for i := 0; i < cfg.N; i++ {
+		p := mid.ProcID(i)
+		node := cl.Node(p)
+		rep.Processed[p] = checker.Recorded(p)
+		if reason, left := node.Left(); left {
+			rep.Left[p] = reason
+			continue
+		}
+		if node.Killed() {
+			rep.Killed = append(rep.Killed, p)
+			continue
+		}
+		rep.Survivors = append(rep.Survivors, p)
+	}
+	rep.Violations = checker.Check(rep.Survivors)
+	return rep, nil
+}
+
+// surviving lists members neither fail-stopped nor self-excluded.
+func surviving(cl *rt.Cluster, n int) []mid.ProcID {
+	var out []mid.ProcID
+	for i := 0; i < n; i++ {
+		node := cl.Node(mid.ProcID(i))
+		if _, left := node.Left(); left || node.Killed() {
+			continue
+		}
+		out = append(out, mid.ProcID(i))
+	}
+	return out
+}
+
+func counts(c *faultrt.Checker, procs []mid.ProcID) map[mid.ProcID]int {
+	out := make(map[mid.ProcID]int, len(procs))
+	for _, p := range procs {
+		out[p] = c.Recorded(p)
+	}
+	return out
+}
+
+// equalAll reports whether every count is identical.
+func equalAll(m map[mid.ProcID]int) bool {
+	first, have := 0, false
+	for _, v := range m {
+		if !have {
+			first, have = v, true
+			continue
+		}
+		if v != first {
+			return false
+		}
+	}
+	return true
+}
+
+func sameCounts(a, b map[mid.ProcID]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for p, v := range a {
+		if b[p] != v {
+			return false
+		}
+	}
+	return true
+}

@@ -11,6 +11,7 @@ package fault
 
 import (
 	"math/rand"
+	"sort"
 
 	"urcgc/internal/mid"
 	"urcgc/internal/sim"
@@ -138,6 +139,16 @@ func (r *Rate) DropRecv(_, _ mid.ProcID, _ sim.Time) bool {
 // Crashes are not windowed — a crash inside the window is still permanent —
 // matching Figure 6's "failures are considered to occur during the first
 // 5 rtd".
+//
+// Scoping contract: the window scopes the inner injector's world. Outside
+// [From, To) the inner injector is not consulted at all, so a
+// counter-based inner like EveryNth counts in-window packets only —
+// During{EveryNth{N}} means "every Nth packet of the window", not "the
+// window's share of a run-long cadence". OnlyProc filters the same way.
+// Multi is the deliberate opposite: it consults every member on every
+// packet, so sibling counters advance consistently regardless of
+// composition order. The experiments (Figure 6, the ablations) depend on
+// window-scoped counting; a regression test pins the composed schedule.
 type During struct {
 	From, To sim.Time
 	Inner    Injector
@@ -166,7 +177,10 @@ func (d During) DropRecv(src, dst mid.ProcID, now sim.Time) bool {
 
 // OnlyProc restricts an inner injector's omissions to packets sent by (for
 // send omissions) or addressed to (for receive omissions) one process,
-// modelling a single faulty process under the general omission model.
+// modelling a single faulty process under the general omission model. Like
+// During, the filter scopes the inner injector's world: other processes'
+// packets never reach the inner injector, so its counters advance on the
+// faulty process's traffic only.
 type OnlyProc struct {
 	Proc  mid.ProcID
 	Inner Injector
@@ -188,6 +202,9 @@ func (o OnlyProc) DropRecv(src, dst mid.ProcID, now sim.Time) bool {
 }
 
 // Multi composes injectors: a failure occurs if any member injects it.
+// Every member is consulted on every packet — even after an earlier member
+// already injected the failure — so counter- and rng-based members advance
+// identically however the composition is ordered.
 type Multi []Injector
 
 // Crashed implements Injector.
@@ -227,17 +244,15 @@ func (m Multi) DropRecv(src, dst mid.ProcID, now sim.Time) bool {
 // Crashes builds one Crash injector per entry of schedule, mapping process
 // to crash time.
 func Crashes(schedule map[mid.ProcID]sim.Time) Multi {
-	m := make(Multi, 0, len(schedule))
 	// Deterministic order for reproducibility of any rng-bearing composition.
-	for p := mid.ProcID(0); int(p) < 1<<16; p++ {
-		t, ok := schedule[p]
-		if !ok {
-			continue
-		}
-		m = append(m, Crash{Proc: p, At: t})
-		if len(m) == len(schedule) {
-			break
-		}
+	procs := make([]mid.ProcID, 0, len(schedule))
+	for p := range schedule {
+		procs = append(procs, p)
+	}
+	sort.Slice(procs, func(i, j int) bool { return procs[i] < procs[j] })
+	m := make(Multi, 0, len(schedule))
+	for _, p := range procs {
+		m = append(m, Crash{Proc: p, At: schedule[p]})
 	}
 	return m
 }

@@ -187,3 +187,92 @@ func TestPartition(t *testing.T) {
 		t.Error("partition neither crashes nor drops at receive")
 	}
 }
+
+// TestCrashesHighProcIDAndOrder is the regression test for the builder's
+// old linear probe over ProcIDs 0..65535, which silently dropped any
+// schedule entry at or above 1<<16: every entry must survive, in ascending
+// ProcID order for rng reproducibility.
+func TestCrashesHighProcIDAndOrder(t *testing.T) {
+	m := Crashes(map[mid.ProcID]sim.Time{
+		1 << 20: 100, // above the old probe ceiling
+		7:       50,
+		1 << 16: 75, // exactly at the old ceiling
+	})
+	if len(m) != 3 {
+		t.Fatalf("len = %d, want 3 (high ProcIDs dropped)", len(m))
+	}
+	want := []mid.ProcID{7, 1 << 16, 1 << 20}
+	for i, in := range m {
+		c := in.(Crash)
+		if c.Proc != want[i] {
+			t.Errorf("member %d = p%d, want p%d", i, c.Proc, want[i])
+		}
+	}
+	if !m.Crashed(1<<20, 100) || !m.Crashed(1<<16, 75) {
+		t.Error("high ProcID crashes must be honoured")
+	}
+}
+
+// TestDuringScopesInnerCounter pins the combinator scoping contract the
+// experiment schedules depend on: During does not consult its inner
+// injector outside the window, so During{EveryNth{N}} drops every Nth
+// packet of the window — out-of-window traffic must not advance the
+// counter.
+func TestDuringScopesInnerCounter(t *testing.T) {
+	d := During{From: 100, To: 200, Inner: &EveryNth{N: 3, Side: AtSend}}
+	// Heavy out-of-window traffic: must not touch the inner counter.
+	for i := 0; i < 7; i++ {
+		if d.DropSend(0, 1, sim.Time(i)) {
+			t.Fatal("no omissions before the window")
+		}
+	}
+	var drops []int
+	for i := 1; i <= 6; i++ {
+		if d.DropSend(0, 1, 150) {
+			drops = append(drops, i)
+		}
+	}
+	if len(drops) != 2 || drops[0] != 3 || drops[1] != 6 {
+		t.Errorf("in-window drops = %v, want [3 6] (window-scoped counting)", drops)
+	}
+	if d.DropSend(0, 1, 250) {
+		t.Error("no omissions after the window")
+	}
+}
+
+// TestOnlyProcScopesInnerCounter pins the same contract for the process
+// filter: other processes' packets never advance the inner counter.
+func TestOnlyProcScopesInnerCounter(t *testing.T) {
+	o := OnlyProc{Proc: 1, Inner: &EveryNth{N: 2, Side: AtSend}}
+	if o.DropSend(0, 2, 0) || o.DropSend(0, 2, 1) || o.DropSend(2, 0, 2) {
+		t.Fatal("other senders' packets must pass unconsulted")
+	}
+	if o.DropSend(1, 2, 3) {
+		t.Fatal("proc 1's first packet must pass")
+	}
+	if !o.DropSend(1, 2, 4) {
+		t.Error("proc 1's second packet must drop: the filter scopes the counter")
+	}
+}
+
+// TestMultiConsultsEveryMember pins Multi's opposite contract: every
+// member sees every packet, so sibling counters advance in lockstep
+// however the composition is ordered.
+func TestMultiConsultsEveryMember(t *testing.T) {
+	a := &EveryNth{N: 2, Side: AtSend}
+	b := &EveryNth{N: 2, Side: AtSend}
+	m := Multi{a, b}
+	if m.DropSend(0, 1, 0) {
+		t.Fatal("first packet must pass both counters")
+	}
+	// Both counters hit 2 together: a's verdict must not short-circuit b's.
+	if !m.DropSend(0, 1, 1) {
+		t.Fatal("second packet must drop")
+	}
+	if m.DropSend(0, 1, 2) {
+		t.Error("third packet must pass: both counters at 3")
+	}
+	if !m.DropSend(0, 1, 3) {
+		t.Error("fourth packet must drop: counters still in lockstep")
+	}
+}

@@ -1,0 +1,162 @@
+package faultrt
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"urcgc/internal/causal"
+	"urcgc/internal/mid"
+)
+
+// Violation is one invariant breach found by the Checker.
+type Violation struct {
+	// Invariant names the broken property: "uniform-atomicity" or
+	// "uniform-ordering".
+	Invariant string
+	// Node is the member at which the breach was observed.
+	Node mid.ProcID
+	// Msg is the message involved.
+	Msg mid.MID
+	// Detail explains the breach.
+	Detail string
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: node %d, %v: %s", v.Invariant, v.Node, v.Msg, v.Detail)
+}
+
+// checkerEntry is one processing event: the message and its declared
+// cross-sequence dependencies (the implicit same-sequence predecessor is
+// derived from the MID).
+type checkerEntry struct {
+	id   mid.MID
+	deps mid.DepList
+}
+
+// Checker records every member's processed sequence during a chaos run and
+// asserts, after churn, the paper's two uniform properties:
+//
+//   - Uniform Atomicity (Definition 3.2): every message processed by any
+//     surviving member was processed by all surviving members — decided
+//     messages are delivered everywhere or nowhere.
+//   - Uniform Ordering (Definition 3.1): at every member, a message was
+//     processed only after every message it causally depends on — its
+//     declared dependencies and its same-sequence predecessor.
+//
+// Feed it from each member's indication stream (or OnProcess callback);
+// Record is safe for concurrent use. Check is meant for after the run.
+type Checker struct {
+	mu   sync.Mutex
+	logs map[mid.ProcID][]checkerEntry
+}
+
+// NewChecker returns an empty history recorder.
+func NewChecker() *Checker {
+	return &Checker{logs: make(map[mid.ProcID][]checkerEntry)}
+}
+
+// Record appends one processed message to node's history, cloning the
+// dependency list.
+func (c *Checker) Record(node mid.ProcID, m *causal.Message) {
+	c.mu.Lock()
+	c.logs[node] = append(c.logs[node], checkerEntry{id: m.ID, deps: m.Deps.Clone()})
+	c.mu.Unlock()
+}
+
+// Recorded returns how many processing events node has on record.
+func (c *Checker) Recorded(node mid.ProcID) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.logs[node])
+}
+
+// Check verifies both invariants: ordering over every recorded member
+// (crashed members' prefixes must be causally ordered too), atomicity over
+// the surviving members only — a crashed member legitimately stops
+// mid-prefix. Returns every violation found, nil when the run was clean.
+func (c *Checker) Check(survivors []mid.ProcID) []Violation {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []Violation
+	out = append(out, c.orderingLocked()...)
+	out = append(out, c.atomicityLocked(survivors)...)
+	return out
+}
+
+// orderingLocked asserts Uniform Ordering and no double processing at
+// every recorded member.
+func (c *Checker) orderingLocked() []Violation {
+	var out []Violation
+	nodes := make([]mid.ProcID, 0, len(c.logs))
+	for n := range c.logs {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	for _, node := range nodes {
+		done := make(map[mid.MID]bool, len(c.logs[node]))
+		for _, e := range c.logs[node] {
+			if done[e.id] {
+				out = append(out, Violation{
+					Invariant: "uniform-ordering", Node: node, Msg: e.id,
+					Detail: "processed twice",
+				})
+				continue
+			}
+			if prev := e.id.Prev(); !prev.IsZero() && !done[prev] {
+				out = append(out, Violation{
+					Invariant: "uniform-ordering", Node: node, Msg: e.id,
+					Detail: fmt.Sprintf("sequence predecessor %v not processed first", prev),
+				})
+			}
+			for _, d := range e.deps {
+				if !done[d] {
+					out = append(out, Violation{
+						Invariant: "uniform-ordering", Node: node, Msg: e.id,
+						Detail: fmt.Sprintf("dependency %v not processed first", d),
+					})
+				}
+			}
+			done[e.id] = true
+		}
+	}
+	return out
+}
+
+// atomicityLocked asserts that the surviving members processed exactly the
+// same message set.
+func (c *Checker) atomicityLocked(survivors []mid.ProcID) []Violation {
+	var out []Violation
+	union := make(map[mid.MID]mid.ProcID) // message -> one survivor that processed it
+	perNode := make(map[mid.ProcID]map[mid.MID]bool, len(survivors))
+	for _, node := range survivors {
+		set := make(map[mid.MID]bool, len(c.logs[node]))
+		for _, e := range c.logs[node] {
+			set[e.id] = true
+			if _, ok := union[e.id]; !ok {
+				union[e.id] = node
+			}
+		}
+		perNode[node] = set
+	}
+	// Deterministic report order.
+	all := make([]mid.MID, 0, len(union))
+	for m := range union {
+		all = append(all, m)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Less(all[j]) })
+	sorted := append([]mid.ProcID(nil), survivors...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, m := range all {
+		for _, node := range sorted {
+			if !perNode[node][m] {
+				out = append(out, Violation{
+					Invariant: "uniform-atomicity", Node: node, Msg: m,
+					Detail: fmt.Sprintf("processed at survivor %d but not here", union[m]),
+				})
+			}
+		}
+	}
+	return out
+}

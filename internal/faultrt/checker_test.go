@@ -1,0 +1,93 @@
+package faultrt
+
+import (
+	"testing"
+
+	"urcgc/internal/causal"
+	"urcgc/internal/mid"
+)
+
+func msg(proc mid.ProcID, seq mid.Seq, deps ...mid.MID) *causal.Message {
+	return &causal.Message{ID: mid.MID{Proc: proc, Seq: seq}, Deps: mid.DepList(deps)}
+}
+
+func TestCheckerCleanHistoryPasses(t *testing.T) {
+	c := NewChecker()
+	a1 := msg(0, 1)
+	b1 := msg(1, 1, a1.ID) // b1 causally after a1
+	a2 := msg(0, 2)
+	for _, node := range []mid.ProcID{0, 1, 2} {
+		c.Record(node, a1)
+		c.Record(node, b1)
+		c.Record(node, a2)
+	}
+	if v := c.Check([]mid.ProcID{0, 1, 2}); len(v) != 0 {
+		t.Fatalf("clean history flagged: %v", v)
+	}
+}
+
+func TestCheckerCrashedPrefixIsLegal(t *testing.T) {
+	c := NewChecker()
+	a1, a2 := msg(0, 1), msg(0, 2)
+	c.Record(0, a1)
+	c.Record(0, a2)
+	c.Record(1, a1)
+	c.Record(1, a2)
+	c.Record(2, a1) // node 2 crashed before a2: a clean prefix
+	if v := c.Check([]mid.ProcID{0, 1}); len(v) != 0 {
+		t.Fatalf("crashed member's prefix flagged: %v", v)
+	}
+}
+
+func TestCheckerCatchesAtomicityViolation(t *testing.T) {
+	c := NewChecker()
+	a1 := msg(0, 1)
+	c.Record(0, a1)
+	// Survivor 1 never processed a1: decided-but-not-everywhere.
+	v := c.Check([]mid.ProcID{0, 1})
+	if len(v) != 1 {
+		t.Fatalf("violations = %v, want exactly one", v)
+	}
+	if v[0].Invariant != "uniform-atomicity" || v[0].Node != 1 || v[0].Msg != a1.ID {
+		t.Errorf("violation = %+v", v[0])
+	}
+}
+
+func TestCheckerCatchesOrderingViolation(t *testing.T) {
+	c := NewChecker()
+	a1 := msg(0, 1)
+	b1 := msg(1, 1, a1.ID)
+	// Node 0 processes the dependent before its dependency.
+	c.Record(0, b1)
+	c.Record(0, a1)
+	c.Record(1, a1)
+	c.Record(1, b1)
+	v := c.Check([]mid.ProcID{0, 1})
+	if len(v) != 1 {
+		t.Fatalf("violations = %v, want exactly one", v)
+	}
+	if v[0].Invariant != "uniform-ordering" || v[0].Node != 0 || v[0].Msg != b1.ID {
+		t.Errorf("violation = %+v", v[0])
+	}
+}
+
+func TestCheckerCatchesSequenceGap(t *testing.T) {
+	c := NewChecker()
+	a2 := msg(0, 2) // (0,1) never processed: FIFO hole
+	c.Record(0, a2)
+	v := c.Check([]mid.ProcID{0})
+	if len(v) != 1 || v[0].Invariant != "uniform-ordering" {
+		t.Fatalf("violations = %v, want one ordering breach", v)
+	}
+}
+
+func TestCheckerCatchesDoubleProcessing(t *testing.T) {
+	c := NewChecker()
+	a1 := msg(0, 1)
+	c.Record(0, a1)
+	c.Record(0, a1)
+	v := c.Check([]mid.ProcID{0})
+	if len(v) != 1 || v[0].Detail != "processed twice" {
+		t.Fatalf("violations = %v, want one double-processing breach", v)
+	}
+}

@@ -110,6 +110,12 @@ type Options struct {
 	SlowThreshold time.Duration
 	// CheckEvery is the watchdog cadence (default SlowThreshold/4).
 	CheckEvery time.Duration
+	// Blame, when non-nil, is asked to explain a stuck span from the
+	// dependencies blocking it; a non-empty answer is appended to the
+	// watchdog's event line. The runtimes wire this to the fault injector's
+	// per-process fault summary, so a span stalled behind an injected crash
+	// or omission burst says so. Called outside the tracer's lock.
+	Blame func(blocking []mid.MID) string
 }
 
 func (o Options) fill() Options {
@@ -415,8 +421,14 @@ func (t *Tracer) Tick() {
 			t.slowTotal.Inc()
 		}
 		if t.events != nil {
-			t.events.Addf("lifecycle: node=%d %v stuck waiting %v, blocked on %v",
-				t.node, f.id, f.waited.Round(time.Millisecond), f.blocking)
+			blame := ""
+			if t.opts.Blame != nil {
+				if b := t.opts.Blame(f.blocking); b != "" {
+					blame = " (" + b + ")"
+				}
+			}
+			t.events.Addf("lifecycle: node=%d %v stuck waiting %v, blocked on %v%s",
+				t.node, f.id, f.waited.Round(time.Millisecond), f.blocking, blame)
 		}
 	}
 }

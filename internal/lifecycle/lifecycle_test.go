@@ -289,3 +289,43 @@ func TestReportShapes(t *testing.T) {
 		t.Fatalf("WriteSlowest missing completed span:\n%s", sb.String())
 	}
 }
+
+// TestWatchdogBlamesInjectedFaults pins the fault-injection integration:
+// when Options.Blame explains the blocking dependencies, the watchdog
+// event line carries the explanation, and an empty answer adds nothing.
+func TestWatchdogBlamesInjectedFaults(t *testing.T) {
+	reg := obs.New()
+	var asked []mid.MID
+	tr := New(0, 3, Options{
+		SlowThreshold: 100 * time.Millisecond,
+		Blame: func(blocking []mid.MID) string {
+			asked = append(asked, blocking...)
+			if len(blocking) > 0 && blocking[0].Proc == 1 {
+				return "faultrt[p1: crashed at 2s]"
+			}
+			return ""
+		},
+	}, reg)
+	advance := fakeClock(tr)
+
+	blamed := mid.MID{Proc: 1, Seq: 7}
+	tr.Waiting(mid.MID{Proc: 2, Seq: 3}, mid.DepList{blamed})
+	tr.Waiting(mid.MID{Proc: 2, Seq: 4}, mid.DepList{{Proc: 0, Seq: 9}})
+	advance(time.Hour)
+	tr.Tick()
+	if c := tr.Counts(); c.Flagged != 2 {
+		t.Fatalf("flagged = %d, want 2", c.Flagged)
+	}
+	if len(asked) == 0 {
+		t.Fatal("Blame was never consulted")
+	}
+	var sb strings.Builder
+	reg.Events().Write(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "(faultrt[p1: crashed at 2s])") {
+		t.Errorf("blamed span's event line missing the fault summary:\n%s", out)
+	}
+	if strings.Count(out, "faultrt[") != 1 {
+		t.Errorf("unblamed span must not carry a fault annotation:\n%s", out)
+	}
+}

@@ -18,6 +18,7 @@ import (
 
 	"urcgc/internal/causal"
 	"urcgc/internal/core"
+	"urcgc/internal/faultrt"
 	"urcgc/internal/lifecycle"
 	"urcgc/internal/mid"
 	"urcgc/internal/obs"
@@ -44,6 +45,13 @@ type Config struct {
 	// every node (spans readable via Node.Lifecycle, histograms fed into
 	// Metrics when set). Nil keeps the hot path free of stage callbacks.
 	Lifecycle *lifecycle.Options
+	// Fault, when non-nil, consults a wall-clock fault injector at the
+	// transport boundary: before each datagram leaves its sender, after it
+	// reaches its receiver, and once per round to fail-stop scheduled
+	// crashes. Nil costs one pointer check per datagram. When Lifecycle is
+	// also set, stuck-span watchdog lines name the injected fault that
+	// plausibly caused the stall.
+	Fault *faultrt.Hook
 }
 
 func (c *Config) fill() {
@@ -143,6 +151,9 @@ func (c *Cluster) clock() {
 		dones := make([]chan struct{}, len(c.nodes))
 		for i, n := range c.nodes {
 			n := n
+			if c.cfg.Fault.Crashed(n.id) {
+				n.Kill()
+			}
 			n.obs.sampleInbox(len(n.inbox))
 			done := make(chan struct{})
 			dones[i] = done
@@ -208,7 +219,11 @@ func newNode(c *Cluster, id mid.ProcID) *Node {
 		waiters: make(map[mid.MID]chan struct{}),
 	}
 	if c.cfg.Lifecycle != nil {
-		n.tracer = lifecycle.New(id, c.cfg.N, *c.cfg.Lifecycle, c.cfg.Metrics)
+		opts := *c.cfg.Lifecycle
+		if opts.Blame == nil && c.cfg.Fault != nil {
+			opts.Blame = c.cfg.Fault.Blame
+		}
+		n.tracer = lifecycle.New(id, c.cfg.N, opts, c.cfg.Metrics)
 	}
 	return n
 }
@@ -322,6 +337,20 @@ func (n *Node) Left() (core.LeaveReason, bool) {
 	return *n.leftWith, true
 }
 
+// unwait removes a registered confirm waiter, but only if it is still the
+// registered one, so an abandoned Send does not leak its map entry (and
+// does not remove a successor's). OnProcess deletes the entry when the
+// message is processed and OnLeave clears the map wholesale; unwait covers
+// the remaining path, a Send abandoned on context cancellation while the
+// message is still in flight.
+func (n *Node) unwait(id mid.MID, ch chan struct{}) {
+	n.mu.Lock()
+	if n.waiters[id] == ch {
+		delete(n.waiters, id)
+	}
+	n.mu.Unlock()
+}
+
 // Send implements the urcgc-data.Rq/Conf primitive pair: it submits the
 // payload with the given explicit cross-sequence dependencies and blocks
 // until the message has been processed locally (the Confirm), or the
@@ -363,8 +392,10 @@ func (n *Node) Send(ctx context.Context, payload []byte, deps mid.DepList) (mid.
 	select {
 	case <-confirm:
 	case <-n.c.stopCh:
+		n.unwait(r.id, confirm)
 		return r.id, fmt.Errorf("rt: cluster stopped")
 	case <-ctx.Done():
+		n.unwait(r.id, confirm)
 		return r.id, ctx.Err()
 	}
 	if _, left := n.Left(); left {
@@ -413,8 +444,10 @@ func (n *Node) SendCausal(ctx context.Context, payload []byte) (mid.MID, error) 
 	select {
 	case <-confirm:
 	case <-n.c.stopCh:
+		n.unwait(r.id, confirm)
 		return r.id, fmt.Errorf("rt: cluster stopped")
 	case <-ctx.Done():
+		n.unwait(r.id, confirm)
 		return r.id, ctx.Err()
 	}
 	n.obs.observeConfirm(t0)
@@ -487,8 +520,40 @@ func (t meshTransport) Send(dst mid.ProcID, pdu wire.PDU) {
 		wire.PutBuf(buf)
 		return // a crashed site emits nothing
 	}
+	if act := t.n.c.cfg.Fault.Send(t.n.id, dst); act.Faulty() {
+		if act.Drop {
+			wire.PutBuf(buf)
+			return
+		}
+		sh := &sharedBuf{buf: buf}
+		sh.refs.Store(1)
+		t.fanout(t.n.c.nodes[dst], buf, sh, act)
+		sh.release()
+		return
+	}
 	if !t.deliver(t.n.c.nodes[dst], buf, nil) {
 		wire.PutBuf(buf)
+	}
+}
+
+// fanout hands one destination its copies of a datagram: 1+Dup copies,
+// each optionally delayed. Every copy takes its own reference on sh;
+// refused copies release immediately, delayed copies hold theirs until the
+// timer delivers. With a zero Action this is exactly one immediate copy.
+func (t meshTransport) fanout(target *Node, buf []byte, sh *sharedBuf, act faultrt.Action) {
+	for c := 0; c <= act.Dup; c++ {
+		sh.refs.Add(1)
+		if act.Delay > 0 {
+			time.AfterFunc(act.Delay, func() {
+				if !t.deliver(target, buf, sh) {
+					sh.release()
+				}
+			})
+			continue
+		}
+		if !t.deliver(target, buf, sh) {
+			sh.release()
+		}
 	}
 }
 
@@ -511,10 +576,11 @@ func (t meshTransport) Broadcast(pdu wire.PDU) {
 		if dst == t.n.id {
 			continue
 		}
-		sh.refs.Add(1)
-		if !t.deliver(t.n.c.nodes[dst], buf, sh) {
-			sh.release()
+		act := t.n.c.cfg.Fault.Send(t.n.id, dst)
+		if act.Drop {
+			continue
 		}
+		t.fanout(t.n.c.nodes[dst], buf, sh, act)
 	}
 	sh.release()
 }
@@ -526,15 +592,51 @@ func (t meshTransport) Broadcast(pdu wire.PDU) {
 func (t meshTransport) deliver(target *Node, buf []byte, sh *sharedBuf) bool {
 	src := t.n.id
 	return target.enqueue(func() {
+		act := target.c.cfg.Fault.Recv(src, target.id)
+		if act.Drop || target.Killed() {
+			if sh != nil {
+				sh.release()
+			} else {
+				wire.PutBuf(buf)
+			}
+			return // dropped at receive; a crashed site absorbs nothing
+		}
 		decoded, err := wire.Unmarshal(buf)
+		// Receive-side duplicates each decode their own self-owned PDU
+		// from the shared bytes before those go back to the pool.
+		var extra []wire.PDU
+		for i := 0; i < act.Dup && err == nil; i++ {
+			d, derr := wire.Unmarshal(buf)
+			if derr != nil {
+				break
+			}
+			extra = append(extra, d)
+		}
 		if sh != nil {
 			sh.release()
 		} else {
 			wire.PutBuf(buf)
 		}
-		if err != nil || target.Killed() {
-			return // undecodable dropped; a crashed site absorbs nothing
+		if err != nil {
+			return // undecodable dropped
+		}
+		if act.Delay > 0 {
+			time.AfterFunc(act.Delay, func() {
+				target.enqueue(func() {
+					if target.Killed() {
+						return
+					}
+					target.proc.Recv(src, decoded)
+					for _, d := range extra {
+						target.proc.Recv(src, d)
+					}
+				})
+			})
+			return
 		}
 		target.proc.Recv(src, decoded)
+		for _, d := range extra {
+			target.proc.Recv(src, d)
+		}
 	})
 }

@@ -11,6 +11,7 @@ import (
 
 	"urcgc/internal/causal"
 	"urcgc/internal/core"
+	"urcgc/internal/faultrt"
 	"urcgc/internal/lifecycle"
 	"urcgc/internal/mid"
 	"urcgc/internal/obs"
@@ -47,6 +48,13 @@ type UDPConfig struct {
 	// oversize datagrams, socket errors — omissions that would otherwise
 	// be silently recovered and invisible. Nil means log.Printf.
 	Logf func(format string, args ...any)
+	// Fault, when non-nil, consults a wall-clock fault injector at this
+	// member's socket boundary: before each datagram is written, after
+	// each datagram is read and validated, and once per tick to fail-stop
+	// a scheduled crash of Self. The hook is local — it sees only this
+	// member's boundary, so a cluster-wide schedule needs the same seeded
+	// schedule on every member. Nil costs one pointer check per datagram.
+	Fault *faultrt.Hook
 }
 
 func (c *UDPConfig) fill() {
@@ -201,7 +209,11 @@ func NewUDPNode(cfg UDPConfig) (*UDPNode, error) {
 		},
 	}
 	if cfg.Lifecycle != nil {
-		n.tracer = lifecycle.New(cfg.Self, cfg.N, *cfg.Lifecycle, cfg.Metrics)
+		opts := *cfg.Lifecycle
+		if opts.Blame == nil && cfg.Fault != nil {
+			opts.Blame = cfg.Fault.Blame
+		}
+		n.tracer = lifecycle.New(cfg.Self, cfg.N, opts, cfg.Metrics)
 	}
 	proc, err := core.NewProcess(cfg.Self, cfg.Config, udpTransport{n: n}, installLifecycle(n.tracer, n.obs.install(cb)))
 	if err != nil {
@@ -287,12 +299,27 @@ func (n *UDPNode) Send(ctx context.Context, payload []byte, deps mid.DepList) (m
 	select {
 	case <-confirm:
 	case <-n.stopCh:
+		n.unwait(r.id, confirm)
 		return r.id, fmt.Errorf("rt: node stopped")
 	case <-ctx.Done():
+		n.unwait(r.id, confirm)
 		return r.id, ctx.Err()
 	}
 	n.obs.observeConfirm(t0)
 	return r.id, nil
+}
+
+// unwait removes a registered confirm waiter, but only if it is still the
+// registered one, so a Send abandoned on shutdown or context cancellation
+// does not leak its map entry. OnProcess deletes the entry when the message
+// is processed and OnLeave clears the map wholesale; unwait covers the
+// abandoned-while-in-flight path.
+func (n *UDPNode) unwait(id mid.MID, ch chan struct{}) {
+	n.mu.Lock()
+	if n.waiters[id] == ch {
+		delete(n.waiters, id)
+	}
+	n.mu.Unlock()
 }
 
 // Snapshot runs fn with safe access to the protocol entity.
@@ -339,6 +366,9 @@ func (n *UDPNode) clock() {
 		case <-n.stopCh:
 			return
 		case <-t.C:
+			if n.cfg.Fault.Crashed(n.cfg.Self) {
+				continue // fail-stopped: a crashed site stops ticking
+			}
 			r := round
 			round++
 			n.obs.sampleInbox(len(n.inbox))
@@ -401,6 +431,10 @@ func (n *UDPNode) reader() {
 			n.warnf("datagram from %v claims member %d outside group of %d: dropped", from, src, n.cfg.N)
 			continue
 		}
+		act := n.cfg.Fault.Recv(src, n.cfg.Self)
+		if act.Drop {
+			continue // injected receive omission (or crashed self)
+		}
 		// Decode in place: Unmarshal never aliases its input, so the read
 		// buffer is immediately reusable for the next datagram — no
 		// per-datagram copy or allocation.
@@ -412,11 +446,43 @@ func (n *UDPNode) reader() {
 			n.warnf("undecodable datagram from %v (%d bytes): %v", from, sz, err)
 			continue // malformed datagram: dropped
 		}
-		select {
-		case n.inbox <- func() { n.proc.Recv(src, pdu) }:
-		default: // inbox full: dropped, like any datagram
-			n.obs.inboxDropped(n.cfg.Self)
+		if !act.Faulty() {
+			n.enqueueDatagram(func() { n.proc.Recv(src, pdu) })
+			continue
 		}
+		// Receive-side duplicates each decode their own self-owned PDU
+		// before the read buffer is reused for the next datagram.
+		var extra []wire.PDU
+		for i := 0; i < act.Dup; i++ {
+			d, derr := wire.Unmarshal(buf[4:sz])
+			if derr != nil {
+				break
+			}
+			extra = append(extra, d)
+		}
+		deliver := func() {
+			n.enqueueDatagram(func() {
+				n.proc.Recv(src, pdu)
+				for _, d := range extra {
+					n.proc.Recv(src, d)
+				}
+			})
+		}
+		if act.Delay > 0 {
+			time.AfterFunc(act.Delay, deliver)
+			continue
+		}
+		deliver()
+	}
+}
+
+// enqueueDatagram hands a received datagram's closure to the protocol
+// loop; a full inbox drops it, like any datagram.
+func (n *UDPNode) enqueueDatagram(fn func()) {
+	select {
+	case n.inbox <- fn:
+	default:
+		n.obs.inboxDropped(n.cfg.Self)
 	}
 }
 
@@ -447,6 +513,30 @@ func (t udpTransport) write(dst mid.ProcID, frame []byte) {
 	}
 }
 
+// ship applies the fault verdict for one destination, then writes the
+// frame 1+Dup times, possibly later. Delayed copies clone the frame into
+// their own pooled buffer because the caller reclaims frame on return.
+func (t udpTransport) ship(dst mid.ProcID, frame []byte) {
+	act := t.n.cfg.Fault.Send(t.n.cfg.Self, dst)
+	if act.Drop {
+		return // injected send omission (or crashed self)
+	}
+	if act.Delay > 0 {
+		cp := append(wire.GetBuf(len(frame)), frame...)
+		copies := 1 + act.Dup
+		time.AfterFunc(act.Delay, func() {
+			for c := 0; c < copies; c++ {
+				t.write(dst, cp)
+			}
+			wire.PutBuf(cp)
+		})
+		return
+	}
+	for c := 0; c <= act.Dup; c++ {
+		t.write(dst, frame)
+	}
+}
+
 func (t udpTransport) Send(dst mid.ProcID, pdu wire.PDU) {
 	if dst == t.n.cfg.Self || dst < 0 || int(dst) >= t.n.cfg.N {
 		return
@@ -456,7 +546,7 @@ func (t udpTransport) Send(dst mid.ProcID, pdu wire.PDU) {
 		wire.PutBuf(frame)
 		return
 	}
-	t.write(dst, frame)
+	t.ship(dst, frame)
 	wire.PutBuf(frame)
 }
 
@@ -474,7 +564,7 @@ func (t udpTransport) Broadcast(pdu wire.PDU) {
 		if dst == t.n.cfg.Self {
 			continue
 		}
-		t.write(dst, frame)
+		t.ship(dst, frame)
 	}
 	wire.PutBuf(frame)
 }
