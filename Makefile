@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench bench-smoke chaos-smoke chaos-soak clean
+.PHONY: all build test race vet check bench bench-smoke chaos-smoke chaos-soak inspect-smoke clean
 
 all: check
 
@@ -14,16 +14,27 @@ vet:
 	$(GO) vet ./...
 
 # race runs the concurrency-sensitive packages under the race detector:
-# the real-time runtime (node loop, UDP reader, Status/Snapshot sampling)
-# and the protocol core it drives.
+# the real-time runtime (node loop, UDP reader, Status/Snapshot sampling),
+# the protocol core it drives, the flight recorder and health evaluator
+# (sampler goroutine vs concurrent readers), and the cluster inspector
+# (parallel probes against live nodes).
 race:
-	$(GO) test -race ./internal/rt/... ./internal/core/...
+	$(GO) test -race ./internal/rt/... ./internal/core/... ./internal/obs/... ./internal/health/... ./internal/inspect/...
 
 # check is the tier-1 gate: everything builds, vets clean, passes the
-# full suite, the rt/core packages pass under -race, every benchmark
-# body still runs (one iteration each), and a seeded chaos soak upholds
-# the uniform invariants under the race detector.
-check: vet test race bench-smoke chaos-smoke
+# full suite, the concurrency-sensitive packages pass under -race, every
+# benchmark body still runs (one iteration each), a seeded chaos soak
+# upholds the uniform invariants under the race detector, and a live
+# three-member cluster inspects healthy end to end through the real
+# binaries.
+check: vet test race bench-smoke chaos-smoke inspect-smoke
+
+# inspect-smoke boots three urcgc-node processes, points urcgc-inspect at
+# their observability endpoints, and requires a healthy one-shot verdict —
+# the end-to-end gate for the flight recorder, /healthz and the
+# cluster-wide divergence detector.
+inspect-smoke:
+	sh scripts/inspect_smoke.sh
 
 # chaos-smoke is the CI chaos gate: a short seeded soak (one crash, one
 # healed partition, 1/100 omission bursts, background reordering and
@@ -32,9 +43,13 @@ chaos-smoke:
 	$(GO) test -race -run 'TestSmokeSoak|TestSameSeedSamePlan' -count 1 ./internal/chaos/
 
 # chaos-soak is the 60-second acceptance soak (same shape, longer wall
-# clock); also available interactively as `go run ./cmd/urcgc-chaos`.
+# clock), which also asserts member health degraded under the faults and
+# recovered after; plus the five-member partition/heal demo: inspect
+# healthy -> divergence naming the cut-off member -> healthy again. Also
+# available interactively as `go run ./cmd/urcgc-chaos`.
 chaos-soak:
 	URCGC_CHAOS_SOAK=1 $(GO) test -race -run TestLongSoak -count 1 -timeout 10m -v ./internal/chaos/
+	$(GO) test -race -run TestInspectPartitionRecovery -count 1 -timeout 10m -v ./internal/inspect/
 
 # bench runs the full baseline suite at real benchtimes and refreshes
 # BENCH_BASELINE.json (the previous recording is preserved under

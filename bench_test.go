@@ -56,6 +56,7 @@ func BenchmarkCBCASTRun(b *testing.B)                 { benchsuite.CBCASTRun(b) 
 func BenchmarkLiveConfirmLatency(b *testing.B)        { benchsuite.LiveConfirmLatency(b) }
 func BenchmarkStageLatencyBreakdown(b *testing.B)     { benchsuite.StageLatencyBreakdown(b) }
 func BenchmarkLifecycleOverhead(b *testing.B)         { benchsuite.LifecycleOverhead(b) }
+func BenchmarkSamplerOverhead(b *testing.B)           { benchsuite.SamplerOverhead(b) }
 
 // ---- Ablations ----
 

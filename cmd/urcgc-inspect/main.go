@@ -1,0 +1,75 @@
+// Command urcgc-inspect reconstructs the cluster-wide protocol picture
+// from the observability endpoints every urcgc-node serves. Point it at
+// the -metrics addresses of the members:
+//
+//	urcgc-inspect -nodes 127.0.0.1:9100,127.0.0.1:9101,127.0.0.1:9102
+//
+// One-shot mode (the default) probes each node's /status, /metrics,
+// /healthz and /timeseries, prints the reconstructed Report as JSON and
+// exits 0 when the cluster is healthy, 1 when any divergence persists
+// past the grace re-probe: a member unreachable or departed, members
+// disagreeing about who is alive, a frozen token, a stability-frontier
+// spread naming the lagging members, or a node's own /healthz verdict.
+//
+//	urcgc-inspect -nodes ... -watch 1s
+//
+// prints one summary line per interval instead, with problem details
+// under each unhealthy round, until interrupted; the exit code reflects
+// the final round.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"urcgc/internal/inspect"
+)
+
+func main() {
+	var (
+		nodes   = flag.String("nodes", "", "comma-separated observability addresses of the members (required)")
+		timeout = flag.Duration("timeout", 2*time.Second, "per-request HTTP timeout")
+		grace   = flag.Duration("grace", 2*time.Second, "one-shot re-probe delay before declaring problems persistent (0 disables)")
+		skew    = flag.Int64("skew", 64, "tolerated stability-frontier spread before lagging nodes are flagged")
+		stall   = flag.Int("stall", 12, "trailing flight samples of a frozen decision subrun that count as a token stall")
+		watch   = flag.Duration("watch", 0, "poll at this interval and print summaries instead of one-shot JSON (0 = one-shot)")
+	)
+	flag.Parse()
+	if *nodes == "" {
+		fmt.Fprintln(os.Stderr, "urcgc-inspect: -nodes is required")
+		os.Exit(2)
+	}
+	cfg := inspect.Config{
+		Nodes:        strings.Split(*nodes, ","),
+		Timeout:      *timeout,
+		Grace:        *grace,
+		FrontierSkew: *skew,
+		StallWindow:  *stall,
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer cancel()
+
+	var report inspect.Report
+	if *watch > 0 {
+		report = inspect.Watch(ctx, cfg, *watch, os.Stdout)
+	} else {
+		report = inspect.OneShot(ctx, cfg)
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(os.Stderr, "urcgc-inspect:", err)
+			os.Exit(2)
+		}
+	}
+	if !report.Healthy {
+		os.Exit(1)
+	}
+}

@@ -14,7 +14,10 @@
 // binds an HTTP listener serving
 //
 //	/metrics     live counters, gauges and histograms (Prometheus text)
-//	/status      this member's protocol state (view, vectors, buffers)
+//	/status      this member's protocol state (view, vectors, buffers);
+//	             append ?format=json for the machine-readable form
+//	/healthz     per-node protocol health: 200 healthy, 503 + reasons
+//	/timeseries  the flight recorder's gauge window as JSON
 //	/events      recent trace events (inbox drops and other omissions)
 //	/trace       per-message lifecycle spans: recent completed plus the
 //	             slowest in-flight, waiting ones with their blocking MIDs
@@ -22,20 +25,17 @@
 //	/debug/pprof CPU/heap/goroutine profiles
 //
 // and a summary table of every instrument is printed on shutdown (SIGINT,
-// SIGTERM, stdin EOF, or leaving the group).
+// SIGTERM, stdin EOF, or leaving the group). The whole cluster's health
+// picture — view agreement, token progress, stability-frontier skew — is
+// reconstructed from these endpoints by `urcgc-inspect`.
 package main
 
 import (
 	"bufio"
 	"context"
-	"encoding/json"
-	"expvar"
 	"flag"
 	"fmt"
 	"log"
-	"net"
-	"net/http"
-	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -44,21 +44,25 @@ import (
 	"time"
 
 	"urcgc/internal/core"
+	"urcgc/internal/health"
 	"urcgc/internal/lifecycle"
 	"urcgc/internal/mid"
+	"urcgc/internal/nodehttp"
 	"urcgc/internal/obs"
 	"urcgc/internal/rt"
 )
 
 func main() {
 	var (
-		self    = flag.Int("self", 0, "this member's identity (index into -peers)")
-		peers   = flag.String("peers", "", "comma-separated member addresses, index = identity")
-		k       = flag.Int("k", 3, "K parameter")
-		round   = flag.Duration("round", 20*time.Millisecond, "round duration")
+		self      = flag.Int("self", 0, "this member's identity (index into -peers)")
+		peers     = flag.String("peers", "", "comma-separated member addresses, index = identity")
+		k         = flag.Int("k", 3, "K parameter")
+		round     = flag.Duration("round", 20*time.Millisecond, "round duration")
 		chatter   = flag.Duration("chatter", 0, "generate a synthetic message this often (0 = stdin only)")
-		metrics   = flag.String("metrics", "127.0.0.1:0", "HTTP address for /metrics, /status, /events, /trace, /debug/vars and /debug/pprof (empty disables)")
+		metrics   = flag.String("metrics", "127.0.0.1:0", "HTTP address for /metrics, /status, /healthz, /timeseries, /events, /trace and /debug/* (empty disables)")
 		traceSlow = flag.Duration("trace-slow", time.Second, "flag a message stuck waiting longer than this on /trace (0 disables lifecycle tracing)")
+		sample    = flag.Duration("sample", time.Second, "flight-recorder sampling interval for /timeseries and /healthz (0 disables)")
+		window    = flag.Int("window", 512, "flight-recorder ring length: samples of history retained")
 	)
 	flag.Parse()
 
@@ -93,17 +97,38 @@ func main() {
 	node.Start()
 	fmt.Printf("member %d of %d up at %s (round %v)\n", *self, len(addrs), node.LocalAddr(), *round)
 
+	var flight *obs.Flight
 	if *metrics != "" {
-		if err := serveMetrics(*metrics, reg, node); err != nil {
+		var evaluator *health.Evaluator
+		if *sample > 0 {
+			flight = obs.NewFlight(reg, obs.FlightOptions{Interval: *sample, Cap: *window})
+			evaluator = health.NewEvaluator(flight, strconv.Itoa(*self), health.Thresholds{})
+			flight.Start()
+		}
+		reg.PublishExpvar("urcgc")
+		mux := nodehttp.Mux(nodehttp.Options{
+			Registry:  reg,
+			Flight:    flight,
+			Health:    evaluator,
+			Status:    node.Status,
+			Lifecycle: node.Lifecycle,
+			Pprof:     true,
+		})
+		ln, err := nodehttp.Serve(*metrics, mux)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "urcgc-node: metrics:", err)
 			node.Stop()
 			os.Exit(1)
 		}
+		fmt.Printf("observability at http://%s/metrics (also /status, /healthz, /timeseries, /events, /trace, /debug/vars, /debug/pprof)\n", ln.Addr())
 	}
 
 	// shutdown prints the observability summary exactly once, then stops
 	// the member.
 	shutdown := func(why string) {
+		if flight != nil {
+			flight.Stop()
+		}
 		fmt.Printf("\n--- %s: shutdown summary (member %d) ---\n", why, *self)
 		reg.WriteSummary(os.Stdout)
 		if tr := node.Lifecycle(); tr != nil {
@@ -193,72 +218,4 @@ func main() {
 		}
 		shutdown("stdin closed")
 	}
-}
-
-// serveMetrics binds the observability endpoint and reports its address.
-func serveMetrics(addr string, reg *obs.Registry, node *rt.UDPNode) error {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return err
-	}
-	reg.PublishExpvar("urcgc")
-	mux := http.NewServeMux()
-	mux.Handle("/metrics", reg.Handler())
-	mux.Handle("/debug/vars", expvar.Handler())
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	mux.HandleFunc("/events", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		evs := reg.Events().Events()
-		fmt.Fprintf(w, "events total=%d dropped=%d shown=%d\n",
-			reg.Events().Total(), reg.Events().Dropped(), len(evs))
-		for _, e := range evs {
-			fmt.Fprintf(w, "%s %s\n", e.At.Format("15:04:05.000"), e.Msg)
-		}
-	})
-	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
-		tr := node.Lifecycle()
-		if tr == nil {
-			http.Error(w, "lifecycle tracing disabled (-trace-slow 0)", http.StatusNotFound)
-			return
-		}
-		slowN := queryInt(r, "slow", 10)
-		recentN := queryInt(r, "recent", 25)
-		w.Header().Set("Content-Type", "application/json; charset=utf-8")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		_ = enc.Encode(tr.Report(slowN, recentN))
-	})
-	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
-		ctx, cancel := context.WithTimeout(r.Context(), 2*time.Second)
-		defer cancel()
-		st, err := node.Status(ctx)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusServiceUnavailable)
-			return
-		}
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintf(w, "running    %v\n", st.Running)
-		fmt.Fprintf(w, "processed  %v\n", st.Processed)
-		fmt.Fprintf(w, "alive      %v\n", st.Alive)
-		fmt.Fprintf(w, "history    %d\n", st.HistoryLen)
-		fmt.Fprintf(w, "waiting    %d\n", st.WaitingLen)
-		fmt.Fprintf(w, "pending    %d\n", st.Pending)
-		fmt.Fprintf(w, "stats      %+v\n", st.Stats)
-	})
-	go func() { _ = http.Serve(ln, mux) }()
-	fmt.Printf("observability at http://%s/metrics (also /status, /events, /trace, /debug/vars, /debug/pprof)\n", ln.Addr())
-	return nil
-}
-
-// queryInt reads a positive integer query parameter with a default.
-func queryInt(r *http.Request, key string, def int) int {
-	v, err := strconv.Atoi(r.URL.Query().Get(key))
-	if err != nil || v < 0 {
-		return def
-	}
-	return v
 }

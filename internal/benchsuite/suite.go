@@ -55,6 +55,7 @@ func Baseline() []Case {
 		{"LiveConfirmLatency", LiveConfirmLatency},
 		{"StageLatencyBreakdown", StageLatencyBreakdown},
 		{"LifecycleOverhead", LifecycleOverhead},
+		{"SamplerOverhead", SamplerOverhead},
 	}
 }
 

@@ -27,6 +27,7 @@ import (
 
 	"urcgc/internal/core"
 	"urcgc/internal/faultrt"
+	"urcgc/internal/health"
 	"urcgc/internal/lifecycle"
 	"urcgc/internal/mid"
 	"urcgc/internal/obs"
@@ -120,6 +121,19 @@ type Report struct {
 	Converged bool
 	// Violations are the invariant breaches found; empty means clean.
 	Violations []faultrt.Violation
+	// HealthMonitored reports whether per-node health verdicts were
+	// evaluated over a flight recording during the run (Metrics was set).
+	HealthMonitored bool
+	// HealthDegraded reports whether any member's health verdict went
+	// unhealthy while the faults were active — the health layer noticed
+	// the adversary.
+	HealthDegraded bool
+	// DegradedNodes maps each member that went unhealthy to the rules
+	// that fired on it.
+	DegradedNodes map[mid.ProcID][]string
+	// HealthRecovered reports whether every survivor's verdict returned
+	// to healthy after the faults cleared.
+	HealthRecovered bool
 }
 
 // Ok reports whether the run upheld both uniform properties.
@@ -149,6 +163,15 @@ func (r *Report) String() string {
 	}
 	if !r.Converged {
 		b.WriteString("  WARNING: survivors did not converge inside the settle window\n")
+	}
+	if r.HealthMonitored {
+		degraded := make([]string, 0, len(r.DegradedNodes))
+		for p, rules := range r.DegradedNodes {
+			degraded = append(degraded, fmt.Sprintf("p%d(%s)", p, strings.Join(rules, "+")))
+		}
+		sort.Strings(degraded)
+		fmt.Fprintf(&b, "  health: degraded=%v [%s] recovered=%v\n",
+			r.HealthDegraded, strings.Join(degraded, " "), r.HealthRecovered)
 	}
 	if r.Ok() {
 		b.WriteString("invariants: uniform atomicity and uniform ordering hold\n")
@@ -186,6 +209,15 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	}
 	checker := faultrt.NewChecker()
 	cl.Start()
+
+	// Health watch: with a registry present, a flight recording of the
+	// cluster's gauges feeds one evaluator per member, so the run can
+	// assert the health layer notices the adversary and calms down after.
+	var monitor *healthMonitor
+	if cfg.Metrics != nil {
+		monitor = newHealthMonitor(cfg)
+		monitor.start()
+	}
 
 	// Consumers: one per member, feeding the indication stream into the
 	// checker; after drainStop they empty whatever is still buffered.
@@ -272,18 +304,35 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		}
 		prev = cur
 	}
+
+	// Health verdicts are read before Stop (the evaluators watch live
+	// gauges); recovery gets its own settle-sized budget since the
+	// windows need a stretch of healthy samples to clear.
+	var monitored, recovered bool
+	var degraded map[mid.ProcID][]string
+	if monitor != nil {
+		monitored = true
+		recovered = monitor.awaitRecovery(surviving(cl, cfg.N), cfg.Settle)
+		degraded = monitor.degradedNodes()
+		monitor.shutdown()
+		logf("health: degraded=%d nodes, survivors recovered=%v", len(degraded), recovered)
+	}
 	cl.Stop()
 	close(drainStop)
 	consumers.Wait()
 
 	rep := &Report{
-		Schedule:  sched,
-		Injected:  hook.Injected(),
-		Sent:      sent.Load(),
-		Confirmed: confirmed.Load(),
-		Left:      make(map[mid.ProcID]core.LeaveReason),
-		Processed: make(map[mid.ProcID]int),
-		Converged: converged,
+		HealthMonitored: monitored,
+		HealthDegraded:  len(degraded) > 0,
+		DegradedNodes:   degraded,
+		HealthRecovered: recovered,
+		Schedule:        sched,
+		Injected:        hook.Injected(),
+		Sent:            sent.Load(),
+		Confirmed:       confirmed.Load(),
+		Left:            make(map[mid.ProcID]core.LeaveReason),
+		Processed:       make(map[mid.ProcID]int),
+		Converged:       converged,
 	}
 	for i := 0; i < cfg.N; i++ {
 		p := mid.ProcID(i)
@@ -301,6 +350,126 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	}
 	rep.Violations = checker.Check(rep.Survivors)
 	return rep, nil
+}
+
+// healthMonitor samples the cluster's gauges into a flight recording and
+// evaluates every member's health on a poll cadence, accumulating which
+// members degraded and why while the adversary was active.
+type healthMonitor struct {
+	flight *obs.Flight
+	evals  []*health.Evaluator
+	poll   time.Duration
+
+	mu       sync.Mutex
+	degraded map[mid.ProcID]map[string]bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// newHealthMonitor tunes the sampling interval and rule windows to the
+// round length, so a soak at 2ms rounds degrades and recovers inside the
+// CI smoke budget while a slower cluster still gets sane windows.
+func newHealthMonitor(cfg Config) *healthMonitor {
+	interval := 5 * cfg.Round
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	th := health.Thresholds{
+		TokenStallSamples: 10, HistoryWindow: 12, HistoryGrowthMin: 32,
+		WaitingStuckSamples: 15, FrontierLagWindow: 12, FrontierLagMin: 12,
+	}
+	m := &healthMonitor{
+		flight:   obs.NewFlight(cfg.Metrics, obs.FlightOptions{Interval: interval, Cap: 2048}),
+		poll:     2 * interval,
+		degraded: make(map[mid.ProcID]map[string]bool),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	for i := 0; i < cfg.N; i++ {
+		m.evals = append(m.evals, health.NewEvaluator(m.flight, fmt.Sprint(i), th))
+	}
+	return m
+}
+
+func (m *healthMonitor) start() {
+	m.flight.Start()
+	go func() {
+		defer close(m.done)
+		t := time.NewTicker(m.poll)
+		defer t.Stop()
+		for {
+			select {
+			case <-m.stop:
+				return
+			case <-t.C:
+				m.evalOnce()
+			}
+		}
+	}()
+}
+
+func (m *healthMonitor) evalOnce() {
+	for i, e := range m.evals {
+		st := e.Eval()
+		if st.Healthy {
+			continue
+		}
+		m.mu.Lock()
+		set := m.degraded[mid.ProcID(i)]
+		if set == nil {
+			set = make(map[string]bool)
+			m.degraded[mid.ProcID(i)] = set
+		}
+		for _, r := range st.Reasons {
+			set[r.Rule] = true
+		}
+		m.mu.Unlock()
+	}
+}
+
+// degradedNodes snapshots who went unhealthy so far, and why.
+func (m *healthMonitor) degradedNodes() map[mid.ProcID][]string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[mid.ProcID][]string, len(m.degraded))
+	for p, set := range m.degraded {
+		rules := make([]string, 0, len(set))
+		for r := range set {
+			rules = append(rules, r)
+		}
+		sort.Strings(rules)
+		out[p] = rules
+	}
+	return out
+}
+
+// awaitRecovery polls until every listed member's verdict is healthy
+// again, or the budget runs out.
+func (m *healthMonitor) awaitRecovery(members []mid.ProcID, budget time.Duration) bool {
+	deadline := time.Now().Add(budget)
+	for {
+		healthy := true
+		for _, p := range members {
+			if !m.evals[p].Eval().Healthy {
+				healthy = false
+				break
+			}
+		}
+		if healthy {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(m.poll)
+	}
+}
+
+func (m *healthMonitor) shutdown() {
+	close(m.stop)
+	<-m.done
+	m.flight.Stop()
 }
 
 // surviving lists members neither fail-stopped nor self-excluded.

@@ -83,6 +83,18 @@ func assessSoak(t *testing.T, rep *Report, reg *obs.Registry) {
 			t.Errorf("survivor p%d processed nothing", p)
 		}
 	}
+	// The health layer must have noticed the adversary — at minimum the
+	// scheduled crash freezes its victim's gauges — and every survivor's
+	// verdict must return to healthy once the faults clear.
+	if !rep.HealthMonitored {
+		t.Error("health was not monitored despite a metrics registry")
+	}
+	if !rep.HealthDegraded || len(rep.DegradedNodes) == 0 {
+		t.Error("no member's health ever degraded during the fault phase")
+	}
+	if !rep.HealthRecovered {
+		t.Errorf("survivors did not return to healthy after the faults: degraded=%v", rep.DegradedNodes)
+	}
 	// Every scheduled fault kind must have fired, and the per-kind
 	// counters must be visible on the metrics registry.
 	snap := reg.Snapshot()

@@ -193,6 +193,16 @@ type Callbacks struct {
 	// member from believed-alive to declared-crashed, whether it made the
 	// declaration as coordinator or adopted it from a decision.
 	OnCrashDeclared func(q mid.ProcID)
+	// OnSubrunStart is invoked at the opening of every subrun with the
+	// subrun index and the coordinator this process will report to — the
+	// local token-pass event of the rotating-coordinator scheme. A health
+	// layer watching this sees the token position advance (or stall).
+	OnSubrunStart func(subrun int64, coord mid.ProcID)
+	// OnViewChange is invoked whenever the local view loses one or more
+	// members (views only ever shrink under fail-stop), after the
+	// per-member OnCrashDeclared calls. alive is a fresh copy the callee
+	// owns.
+	OnViewChange func(alive []bool)
 }
 
 // RoundObservation is the per-round gauge sample handed to OnRoundEnd.
@@ -245,6 +255,11 @@ type Process struct {
 	// steady-state tracing costs no allocation per waiting message.
 	missScratch mid.DepList
 
+	// lastClean retains the stability watermark of the freshest full-group
+	// decision applied, for the StableTo accessor (health and status
+	// reporting). Preallocated; copied into, never re-allocated.
+	lastClean mid.SeqVector
+
 	// Counters for reports and tests.
 	Stats Stats
 }
@@ -273,16 +288,17 @@ func NewProcess(id mid.ProcID, cfg Config, tp Transport, cb Callbacks) (*Process
 		return nil, fmt.Errorf("core: nil transport")
 	}
 	return &Process{
-		id:       id,
-		cfg:      cfg,
-		cb:       cb,
-		tp:       tp,
-		tracker:  causal.NewTracker(cfg.N),
-		hist:     history.New(cfg.N),
-		wait:     waitlist.New(cfg.N),
-		view:     group.NewView(cfg.N),
-		running:  true,
-		requests: make(map[mid.ProcID]*wire.Request),
+		id:        id,
+		cfg:       cfg,
+		cb:        cb,
+		tp:        tp,
+		tracker:   causal.NewTracker(cfg.N),
+		hist:      history.New(cfg.N),
+		wait:      waitlist.New(cfg.N),
+		view:      group.NewView(cfg.N),
+		running:   true,
+		requests:  make(map[mid.ProcID]*wire.Request),
+		lastClean: mid.NewSeqVector(cfg.N),
 	}, nil
 }
 
@@ -317,6 +333,20 @@ func (p *Process) Processed() mid.SeqVector { return p.tracker.Processed() }
 // broadcast (they wait for their round or for flow control).
 // Loop-goroutine-only.
 func (p *Process) PendingSubmissions() int { return len(p.outbox) }
+
+// Subrun returns the index of the current subrun. Loop-goroutine-only.
+func (p *Process) Subrun() int64 { return p.subrun }
+
+// CurrentCoordinator returns the coordinator of the current subrun under
+// this process's view. Loop-goroutine-only.
+func (p *Process) CurrentCoordinator() mid.ProcID { return p.coordinator(p.subrun) }
+
+// StableTo returns the stability watermark of the freshest full-group
+// decision applied: every (q, s) with s <= StableTo()[q] is uniformly
+// stable. All-zero until the first full-group decision. Callers must not
+// modify it, and must Clone it before letting it escape the loop
+// goroutine.
+func (p *Process) StableTo() mid.SeqVector { return p.lastClean }
 
 // Submit queues a user message. Its causal dependencies are the explicit
 // deps given (each must already be processed locally — a process can only
@@ -449,6 +479,9 @@ func (p *Process) startSubrun(s int64) {
 
 	// Send the REQUEST to the subrun's coordinator.
 	coord := p.coordinator(s)
+	if p.cb.OnSubrunStart != nil {
+		p.cb.OnSubrunStart(s, coord)
+	}
 	req := p.buildRequest(s)
 	if coord == p.id {
 		p.requests[p.id] = req
@@ -628,6 +661,7 @@ func (p *Process) applyDecision(d *wire.Decision) {
 		clean := d.CleanTo.Clone()
 		clean.MinInto(p.tracker.Processed())
 		p.hist.CleanTo(clean)
+		copy(p.lastClean, clean)
 		if p.cb.OnStable != nil {
 			p.cb.OnStable(clean)
 		}
@@ -745,7 +779,9 @@ func (p *Process) adoptMask(mask []bool) {
 			}
 		}
 	}
-	p.view.ApplyMask(mask)
+	if removed := p.view.ApplyMask(mask); len(removed) > 0 && p.cb.OnViewChange != nil {
+		p.cb.OnViewChange(p.view.AliveMask())
+	}
 }
 
 func (p *Process) leave(reason LeaveReason) {
@@ -809,11 +845,15 @@ func (p *Process) computeDecision() *wire.Decision {
 	if prev != nil {
 		att.Load(prev.Attempts)
 	}
-	for _, crashed := range att.Observe(heard, p.view) {
+	declared := att.Observe(heard, p.view)
+	for _, crashed := range declared {
 		p.view.MarkCrashed(crashed)
 		if p.cb.OnCrashDeclared != nil {
 			p.cb.OnCrashDeclared(crashed)
 		}
+	}
+	if len(declared) > 0 && p.cb.OnViewChange != nil {
+		p.cb.OnViewChange(p.view.AliveMask())
 	}
 	copy(d.Attempts, att.Counts())
 	copy(d.Alive, p.view.AliveMask())

@@ -1,0 +1,279 @@
+package health
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+
+	"urcgc/internal/obs"
+)
+
+func TestTokenStalled(t *testing.T) {
+	cases := []struct {
+		name   string
+		series []int64
+		window int
+		want   bool
+	}{
+		{"too few samples", []int64{5, 5, 5}, 4, false},
+		{"frozen for window", []int64{4, 5, 5, 5, 5}, 4, true},
+		{"advancing", []int64{5, 6, 7, 8}, 4, false},
+		{"advance inside window", []int64{5, 5, 6, 6}, 4, false},
+		{"recovered after stall", []int64{5, 5, 5, 5, 6}, 4, false},
+		{"exactly window frozen", []int64{9, 9, 9, 9}, 4, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := tokenStalled(c.series, c.window); got != c.want {
+				t.Errorf("tokenStalled(%v, %d) = %v, want %v", c.series, c.window, got, c.want)
+			}
+		})
+	}
+}
+
+func TestGrowingMonotonically(t *testing.T) {
+	cases := []struct {
+		name   string
+		series []int64
+		window int
+		min    int64
+		want   bool
+	}{
+		{"too few samples", []int64{0, 10, 20}, 4, 10, false},
+		{"unbounded growth", []int64{0, 10, 20, 40}, 4, 10, true},
+		{"growth below min", []int64{0, 1, 2, 3}, 4, 10, false},
+		{"sawtooth (cleaned)", []int64{0, 30, 5, 40}, 4, 10, false},
+		{"flat idle", []int64{7, 7, 7, 7}, 4, 10, false},
+		{"recovery: cleaning resumed", []int64{0, 10, 20, 40, 2}, 4, 10, false},
+		{"growth at exactly min", []int64{0, 4, 8, 10}, 4, 10, true},
+		{"plateau then growth", []int64{5, 5, 5, 16}, 4, 11, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := growingMonotonically(c.series, c.window, c.min); got != c.want {
+				t.Errorf("growingMonotonically(%v, %d, %d) = %v, want %v", c.series, c.window, c.min, got, c.want)
+			}
+		})
+	}
+}
+
+func TestStuckNonEmpty(t *testing.T) {
+	cases := []struct {
+		name   string
+		series []int64
+		window int
+		want   bool
+	}{
+		{"too few samples", []int64{1, 1}, 3, false},
+		{"never drains", []int64{2, 1, 3}, 3, true},
+		{"drained mid-window", []int64{2, 0, 3}, 3, false},
+		{"recovery: drained at end", []int64{2, 1, 3, 0}, 3, false},
+		{"empty throughout", []int64{0, 0, 0}, 3, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := stuckNonEmpty(c.series, c.window); got != c.want {
+				t.Errorf("stuckNonEmpty(%v, %d) = %v, want %v", c.series, c.window, got, c.want)
+			}
+		})
+	}
+}
+
+// evalHarness drives a Flight deterministically for one node's series.
+type evalHarness struct {
+	reg       *obs.Registry
+	flight    *obs.Flight
+	eval      *Evaluator
+	decision  *obs.Gauge
+	history   *obs.Gauge
+	waiting   *obs.Gauge
+	processed *obs.Counter
+	stable    *obs.Gauge
+}
+
+func newEvalHarness(t *testing.T, th Thresholds) *evalHarness {
+	t.Helper()
+	reg := obs.New()
+	l := func(name string) string { return obs.Labeled(name, "node", "0") }
+	f := obs.NewFlight(reg, obs.FlightOptions{Cap: 64})
+	return &evalHarness{
+		reg:       reg,
+		flight:    f,
+		eval:      NewEvaluator(f, "0", th),
+		decision:  reg.Gauge(l("core_decision_subrun")),
+		history:   reg.Gauge(l("core_history_len")),
+		waiting:   reg.Gauge(l("core_waiting_len")),
+		processed: reg.Counter(l("rt_processed_total")),
+		stable:    reg.Gauge(l("core_stable_sum")),
+	}
+}
+
+// tick advances the simulated node one sample: a healthy node's decision
+// subrun advances and its stability frontier tracks its processed count.
+func (h *evalHarness) tickHealthy() {
+	h.decision.Add(1)
+	h.processed.Add(2)
+	h.stable.Set(h.processed.Value())
+	h.flight.Sample()
+}
+
+func reasons(st Status) []string {
+	out := make([]string, 0, len(st.Reasons))
+	for _, r := range st.Reasons {
+		out = append(out, r.Rule)
+	}
+	return out
+}
+
+func hasRule(st Status, rule string) bool {
+	for _, r := range st.Reasons {
+		if r.Rule == rule {
+			return true
+		}
+	}
+	return false
+}
+
+// TestEvaluatorLifecycle walks one node through warm-up, health, every
+// failure mode, and recovery back to healthy.
+func TestEvaluatorLifecycle(t *testing.T) {
+	th := Thresholds{
+		TokenStallSamples:   4,
+		HistoryWindow:       4,
+		HistoryGrowthMin:    8,
+		WaitingStuckSamples: 4,
+		FrontierLagWindow:   4,
+		FrontierLagMin:      6,
+	}
+	h := newEvalHarness(t, th)
+
+	// Warming up: no samples at all is healthy.
+	if st := h.eval.Eval(); !st.Healthy || st.Samples != 0 {
+		t.Fatalf("empty flight: %+v", st)
+	}
+
+	// Healthy steady state.
+	for i := 0; i < 8; i++ {
+		h.tickHealthy()
+	}
+	if st := h.eval.Eval(); !st.Healthy {
+		t.Fatalf("healthy node flagged: %v", reasons(st))
+	}
+
+	// Token stall: decision subrun freezes while samples keep coming.
+	for i := 0; i < 4; i++ {
+		h.flight.Sample()
+	}
+	st := h.eval.Eval()
+	if st.Healthy || !hasRule(st, "token-stall") {
+		t.Fatalf("frozen token not flagged: %+v", st)
+	}
+	// Recovery: one fresh decision clears it.
+	h.tickHealthy()
+	if st := h.eval.Eval(); hasRule(st, "token-stall") {
+		t.Fatalf("token-stall did not recover: %+v", st)
+	}
+
+	// History growth: monotone climb past the minimum with no cleaning.
+	for i := 0; i < 4; i++ {
+		h.history.Add(3)
+		h.tickHealthy()
+	}
+	st = h.eval.Eval()
+	if st.Healthy || !hasRule(st, "history-growth") {
+		t.Fatalf("unbounded history not flagged: %+v", st)
+	}
+	// Recovery: stability cleaning shrinks the buffer.
+	h.history.Set(1)
+	h.tickHealthy()
+	if st := h.eval.Eval(); hasRule(st, "history-growth") {
+		t.Fatalf("history-growth did not recover: %+v", st)
+	}
+
+	// Waiting-stuck: the waiting list stays non-empty a full window.
+	h.waiting.Set(2)
+	for i := 0; i < 4; i++ {
+		h.tickHealthy()
+	}
+	st = h.eval.Eval()
+	if st.Healthy || !hasRule(st, "waiting-stuck") {
+		t.Fatalf("stuck waiting list not flagged: %+v", st)
+	}
+	h.waiting.Set(0)
+	h.tickHealthy()
+	if st := h.eval.Eval(); hasRule(st, "waiting-stuck") {
+		t.Fatalf("waiting-stuck did not recover: %+v", st)
+	}
+
+	// Frontier lag: processing continues but stability stops advancing.
+	for i := 0; i < 4; i++ {
+		h.decision.Add(1)
+		h.processed.Add(2) // stable stays put: the gap grows 2 per sample
+		h.flight.Sample()
+	}
+	st = h.eval.Eval()
+	if st.Healthy || !hasRule(st, "frontier-lag") {
+		t.Fatalf("lagging frontier not flagged: %+v", st)
+	}
+	// Recovery: a full-group decision catches the frontier up.
+	h.stable.Set(h.processed.Value())
+	h.flight.Sample()
+	if st := h.eval.Eval(); !st.Healthy {
+		t.Fatalf("node did not return to healthy: %v", reasons(st))
+	}
+}
+
+// TestEvaluatorIdleIsHealthy pins that a quiescent node — flat series,
+// no traffic, token still advancing — stays healthy forever.
+func TestEvaluatorIdleIsHealthy(t *testing.T) {
+	h := newEvalHarness(t, Thresholds{
+		TokenStallSamples: 4, HistoryWindow: 4, HistoryGrowthMin: 8,
+		WaitingStuckSamples: 4, FrontierLagWindow: 4, FrontierLagMin: 6,
+	})
+	for i := 0; i < 12; i++ {
+		h.decision.Add(1) // rounds keep running; no user traffic
+		h.flight.Sample()
+	}
+	if st := h.eval.Eval(); !st.Healthy {
+		t.Fatalf("idle node flagged: %v", reasons(st))
+	}
+}
+
+func TestHandlerStatusCodes(t *testing.T) {
+	th := Thresholds{TokenStallSamples: 3}
+	h := newEvalHarness(t, th)
+	for i := 0; i < 4; i++ {
+		h.tickHealthy()
+	}
+	rec := httptest.NewRecorder()
+	h.eval.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("healthy code = %d, body %s", rec.Code, rec.Body.String())
+	}
+	var st Status
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil || !st.Healthy || st.Node != "0" {
+		t.Fatalf("healthy body: %v %s", err, rec.Body.String())
+	}
+	for i := 0; i < 3; i++ {
+		h.flight.Sample() // freeze the token
+	}
+	rec = httptest.NewRecorder()
+	h.eval.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 503 {
+		t.Fatalf("unhealthy code = %d", rec.Code)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil || st.Healthy || len(st.Reasons) == 0 {
+		t.Fatalf("unhealthy body: %v %s", err, rec.Body.String())
+	}
+}
+
+func TestThresholdDefaults(t *testing.T) {
+	th := Thresholds{}.withDefaults()
+	if th != DefaultThresholds {
+		t.Fatalf("zero thresholds = %+v, want defaults %+v", th, DefaultThresholds)
+	}
+	custom := Thresholds{TokenStallSamples: 3}.withDefaults()
+	if custom.TokenStallSamples != 3 || custom.HistoryWindow != DefaultThresholds.HistoryWindow {
+		t.Fatalf("partial thresholds = %+v", custom)
+	}
+}

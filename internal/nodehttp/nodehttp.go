@@ -1,0 +1,154 @@
+// Package nodehttp assembles the observability HTTP surface of one live
+// group member. cmd/urcgc-node, the inspect smoke tests and the chaos
+// harness all serve the same mux, so urcgc-inspect talks to one endpoint
+// shape everywhere:
+//
+//	/metrics     Prometheus text exposition of the registry
+//	/status      protocol state; text by default, ?format=json for JSON
+//	/healthz     health verdict (200 healthy / 503 + reasons)
+//	/timeseries  the flight recorder's gauge window as JSON
+//	/events      recent trace events
+//	/trace       message lifecycle spans (when tracing is enabled)
+//	/debug/*     expvar + pprof (opt-in)
+package nodehttp
+
+import (
+	"context"
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"urcgc/internal/health"
+	"urcgc/internal/lifecycle"
+	"urcgc/internal/obs"
+	"urcgc/internal/rt"
+)
+
+// Options configure the mux. Registry is required; every nil optional
+// field simply leaves its endpoint unmounted (404).
+type Options struct {
+	// Registry backs /metrics and /events.
+	Registry *obs.Registry
+	// Flight, if set, backs /timeseries.
+	Flight *obs.Flight
+	// Health, if set, backs /healthz.
+	Health *health.Evaluator
+	// Status, if set, backs /status. It must be safe to call from any
+	// goroutine (rt.Node.Status and rt.UDPNode.Status are).
+	Status func(ctx context.Context) (rt.Status, error)
+	// Lifecycle, if set, backs /trace; returning nil reports tracing
+	// disabled.
+	Lifecycle func() *lifecycle.Tracer
+	// Pprof mounts /debug/vars and /debug/pprof.
+	Pprof bool
+	// StatusTimeout bounds one /status sample; 0 means 2s.
+	StatusTimeout time.Duration
+}
+
+// Mux builds the endpoint surface.
+func Mux(o Options) *http.ServeMux {
+	mux := http.NewServeMux()
+	if o.Registry != nil {
+		mux.Handle("/metrics", o.Registry.Handler())
+		mux.HandleFunc("/events", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			evs := o.Registry.Events().Events()
+			fmt.Fprintf(w, "events total=%d dropped=%d shown=%d\n",
+				o.Registry.Events().Total(), o.Registry.Events().Dropped(), len(evs))
+			for _, e := range evs {
+				fmt.Fprintf(w, "%s %s\n", e.At.Format("15:04:05.000"), e.Msg)
+			}
+		})
+	}
+	if o.Flight != nil {
+		mux.Handle("/timeseries", o.Flight.Handler())
+	}
+	if o.Health != nil {
+		mux.Handle("/healthz", o.Health.Handler())
+	}
+	if o.Status != nil {
+		timeout := o.StatusTimeout
+		if timeout <= 0 {
+			timeout = 2 * time.Second
+		}
+		mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+			ctx, cancel := context.WithTimeout(r.Context(), timeout)
+			defer cancel()
+			st, err := o.Status(ctx)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+			if r.URL.Query().Get("format") == "json" {
+				w.Header().Set("Content-Type", "application/json")
+				_ = json.NewEncoder(w).Encode(st)
+				return
+			}
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			WriteStatusText(w, st)
+		})
+	}
+	if o.Lifecycle != nil {
+		mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+			tr := o.Lifecycle()
+			if tr == nil {
+				http.Error(w, "lifecycle tracing disabled (-trace-slow 0)", http.StatusNotFound)
+				return
+			}
+			slowN := queryInt(r, "slow", 10)
+			recentN := queryInt(r, "recent", 25)
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(tr.Report(slowN, recentN))
+		})
+	}
+	if o.Pprof {
+		mux.Handle("/debug/vars", expvar.Handler())
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+// WriteStatusText renders the human-readable /status body.
+func WriteStatusText(w http.ResponseWriter, st rt.Status) {
+	fmt.Fprintf(w, "id         %d of %d\n", st.ID, st.N)
+	fmt.Fprintf(w, "running    %v\n", st.Running)
+	fmt.Fprintf(w, "subrun     %d (coordinator %d)\n", st.Subrun, st.Coordinator)
+	fmt.Fprintf(w, "processed  %v\n", st.Processed)
+	fmt.Fprintf(w, "stable_to  %v\n", st.StableTo)
+	fmt.Fprintf(w, "alive      %v\n", st.Alive)
+	fmt.Fprintf(w, "history    %d by-sender %v\n", st.HistoryLen, st.HistoryBySender)
+	fmt.Fprintf(w, "waiting    %d\n", st.WaitingLen)
+	fmt.Fprintf(w, "pending    %d\n", st.Pending)
+	fmt.Fprintf(w, "stats      %+v\n", st.Stats)
+}
+
+// Serve binds addr and serves the handler in the background, returning
+// the listener (for its bound address and for Close).
+func Serve(addr string, h http.Handler) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go func() { _ = http.Serve(ln, h) }()
+	return ln, nil
+}
+
+// queryInt reads a positive integer query parameter with a default.
+func queryInt(r *http.Request, key string, def int) int {
+	v, err := strconv.Atoi(r.URL.Query().Get(key))
+	if err != nil || v < 0 {
+		return def
+	}
+	return v
+}

@@ -1,0 +1,32 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// RegisterBuildInfo sets the urcgc_build_info gauge to 1, labeled with
+// the Go toolchain version and the VCS revision baked into the binary by
+// `go build` (debug.ReadBuildInfo's vcs.revision setting, shortened to
+// 12 hex digits; "unknown" when the binary was built outside a
+// checkout, e.g. under `go test`). The constant-1 gauge with identity
+// labels is the standard Prometheus idiom: joins against it annotate
+// every other series with the build that produced it.
+func RegisterBuildInfo(reg *Registry) {
+	goVersion := runtime.Version()
+	revision := "unknown"
+	if info, ok := debug.ReadBuildInfo(); ok {
+		if info.GoVersion != "" {
+			goVersion = info.GoVersion
+		}
+		for _, s := range info.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				revision = s.Value
+				if len(revision) > 12 {
+					revision = revision[:12]
+				}
+			}
+		}
+	}
+	reg.Gauge(Labeled("urcgc_build_info", "go_version", goVersion, "revision", revision)).Set(1)
+}

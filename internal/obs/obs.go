@@ -390,6 +390,22 @@ func (r *Registry) Handler() http.Handler {
 	})
 }
 
+// VisitInts calls f once for the current value of every plain counter
+// and gauge (histograms excluded), holding the registry lock for the
+// duration. Unlike Snapshot it allocates nothing, which is what the
+// flight recorder's fixed-interval sampler needs; f must not call back
+// into the registry.
+func (r *Registry) VisitInts(f func(name string, v int64)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		f(name, c.Value())
+	}
+	for name, g := range r.gauges {
+		f(name, g.Value())
+	}
+}
+
 // Snapshot returns the current value of every plain counter and gauge
 // (histograms excluded), for tests and expvar export.
 func (r *Registry) Snapshot() map[string]int64 {

@@ -17,10 +17,36 @@ func installLifecycle(tr *lifecycle.Tracer, cb core.Callbacks) core.Callbacks {
 	if tr == nil {
 		return cb
 	}
-	cb.OnGenerate = func(m *causal.Message) { tr.Generated(m.ID) }
-	cb.OnBroadcast = func(m *causal.Message) { tr.Broadcast(m.ID) }
-	cb.OnWait = func(m *causal.Message, missing mid.DepList) { tr.Waiting(m.ID, missing) }
-	cb.OnStable = func(clean mid.SeqVector) { tr.StableTo(clean) }
+	prevGenerate := cb.OnGenerate
+	cb.OnGenerate = func(m *causal.Message) {
+		if prevGenerate != nil {
+			prevGenerate(m)
+		}
+		tr.Generated(m.ID)
+	}
+	prevBroadcast := cb.OnBroadcast
+	cb.OnBroadcast = func(m *causal.Message) {
+		if prevBroadcast != nil {
+			prevBroadcast(m)
+		}
+		tr.Broadcast(m.ID)
+	}
+	prevWait := cb.OnWait
+	cb.OnWait = func(m *causal.Message, missing mid.DepList) {
+		if prevWait != nil {
+			prevWait(m, missing)
+		}
+		tr.Waiting(m.ID, missing)
+	}
+	// nodeObs installs OnStable for the stability-sum gauge; chain it, do
+	// not overwrite.
+	prevStable := cb.OnStable
+	cb.OnStable = func(clean mid.SeqVector) {
+		if prevStable != nil {
+			prevStable(clean)
+		}
+		tr.StableTo(clean)
+	}
 	prevProcess := cb.OnProcess
 	cb.OnProcess = func(m *causal.Message) {
 		if prevProcess != nil {

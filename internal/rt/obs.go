@@ -25,10 +25,17 @@ type nodeObs struct {
 	crashDecls  *obs.Counter
 	discards    *obs.Counter
 
-	histLen    *obs.Gauge
-	waitLen    *obs.Gauge
-	pendingLen *obs.Gauge
-	inboxDepth *obs.Gauge
+	viewChanges *obs.Counter
+
+	histLen     *obs.Gauge
+	waitLen     *obs.Gauge
+	pendingLen  *obs.Gauge
+	inboxDepth  *obs.Gauge
+	subrunG     *obs.Gauge
+	coordG      *obs.Gauge
+	aliveCount  *obs.Gauge
+	decisionSub *obs.Gauge
+	stableSum   *obs.Gauge
 
 	decisionLat *obs.Histogram
 	confirmLat  *obs.Histogram
@@ -38,14 +45,15 @@ type nodeObs struct {
 	subrunStart time.Time
 }
 
-// newNodeObs resolves the per-member instrument set; nil registry → nil.
-func newNodeObs(reg *obs.Registry, id mid.ProcID) *nodeObs {
+// newNodeObs resolves the per-member instrument set for a group of n;
+// nil registry → nil.
+func newNodeObs(reg *obs.Registry, id mid.ProcID, n int) *nodeObs {
 	if reg == nil {
 		return nil
 	}
 	node := strconv.Itoa(int(id))
 	l := func(name string) string { return obs.Labeled(name, "node", node) }
-	return &nodeObs{
+	o := &nodeObs{
 		reg:         reg,
 		processed:   reg.Counter(l("rt_processed_total")),
 		indDropped:  reg.Counter(l("rt_indications_dropped_total")),
@@ -55,13 +63,21 @@ func newNodeObs(reg *obs.Registry, id mid.ProcID) *nodeObs {
 		retransmits: reg.Counter(l("core_retransmits_total")),
 		crashDecls:  reg.Counter(l("core_crash_declarations_total")),
 		discards:    reg.Counter(l("core_discards_total")),
+		viewChanges: reg.Counter(l("core_view_changes_total")),
 		histLen:     reg.Gauge(l("core_history_len")),
 		waitLen:     reg.Gauge(l("core_waiting_len")),
 		pendingLen:  reg.Gauge(l("core_pending_len")),
 		inboxDepth:  reg.Gauge(l("rt_inbox_depth")),
+		subrunG:     reg.Gauge(l("core_subrun")),
+		coordG:      reg.Gauge(l("core_coordinator")),
+		aliveCount:  reg.Gauge(l("core_alive_count")),
+		decisionSub: reg.Gauge(l("core_decision_subrun")),
+		stableSum:   reg.Gauge(l("core_stable_sum")),
 		decisionLat: reg.Histogram(l("rt_decision_latency_seconds"), obs.DurationBuckets),
 		confirmLat:  reg.Histogram(l("rt_confirm_latency_seconds"), obs.DurationBuckets),
 	}
+	o.aliveCount.Set(int64(n))
+	return o
 }
 
 // install extends a member's protocol callbacks with the observability
@@ -83,9 +99,43 @@ func (o *nodeObs) install(cb core.Callbacks) core.Callbacks {
 			prevDecision(d)
 		}
 		o.decisions.Inc()
+		o.decisionSub.Set(d.Subrun)
 		if !o.subrunStart.IsZero() {
 			o.decisionLat.ObserveSince(o.subrunStart)
 		}
+	}
+	prevSubrun := cb.OnSubrunStart
+	cb.OnSubrunStart = func(s int64, coord mid.ProcID) {
+		if prevSubrun != nil {
+			prevSubrun(s, coord)
+		}
+		o.subrunG.Set(s)
+		o.coordG.Set(int64(coord))
+	}
+	prevView := cb.OnViewChange
+	cb.OnViewChange = func(alive []bool) {
+		if prevView != nil {
+			prevView(alive)
+		}
+		o.viewChanges.Inc()
+		n := int64(0)
+		for _, a := range alive {
+			if a {
+				n++
+			}
+		}
+		o.aliveCount.Set(n)
+	}
+	prevStable := cb.OnStable
+	cb.OnStable = func(clean mid.SeqVector) {
+		if prevStable != nil {
+			prevStable(clean)
+		}
+		var sum int64
+		for _, s := range clean {
+			sum += int64(s)
+		}
+		o.stableSum.Set(sum)
 	}
 	cb.OnRoundEnd = func(ro core.RoundObservation) {
 		o.histLen.Set(int64(ro.HistoryLen))

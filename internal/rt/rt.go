@@ -213,7 +213,7 @@ func newNode(c *Cluster, id mid.ProcID) *Node {
 	n := &Node{
 		c:       c,
 		id:      id,
-		obs:     newNodeObs(c.cfg.Metrics, id),
+		obs:     newNodeObs(c.cfg.Metrics, id, c.cfg.N),
 		inbox:   make(chan func(), c.cfg.InboxDepth),
 		ind:     make(chan Indication, c.cfg.IndicationDepth),
 		waiters: make(map[mid.MID]chan struct{}),

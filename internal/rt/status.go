@@ -11,35 +11,58 @@ import (
 // captured inside the node loop goroutine and cloned, so it is safe to
 // hold and read from anywhere. It is the supported way to observe a live
 // member; the raw core.Process accessors are loop-goroutine-only (see the
-// core.Process concurrency contract).
+// core.Process concurrency contract). The JSON shape is what
+// /status?format=json serves and what urcgc-inspect consumes.
 type Status struct {
+	// ID is the member's process identifier.
+	ID mid.ProcID `json:"id"`
+	// N is the group cardinality (live and crashed members).
+	N int `json:"n"`
 	// Running reports whether the member still executes the protocol.
-	Running bool
+	Running bool `json:"running"`
+	// Subrun is the member's current subrun index — the local view of the
+	// token position in the coordinator rotation.
+	Subrun int64 `json:"subrun"`
+	// Coordinator is the coordinator of the current subrun under this
+	// member's view.
+	Coordinator mid.ProcID `json:"coordinator"`
 	// HistoryLen is the history buffer length (the Figure 6 gauge).
-	HistoryLen int
+	HistoryLen int `json:"history_len"`
+	// HistoryBySender is the per-sender history occupancy: how many of
+	// each sequence's messages this member still retains.
+	HistoryBySender []int `json:"history_by_sender"`
 	// WaitingLen is the waiting-list length.
-	WaitingLen int
+	WaitingLen int `json:"waiting_len"`
 	// Pending is the number of user messages queued for future rounds.
-	Pending int
+	Pending int `json:"pending"`
 	// Processed is a clone of the last-processed vector.
-	Processed mid.SeqVector
+	Processed mid.SeqVector `json:"processed"`
+	// StableTo is a clone of the stability watermark from the freshest
+	// full-group decision: the member's local stability frontier.
+	StableTo mid.SeqVector `json:"stable_to"`
 	// Alive is a clone of the member's view: Alive[q] reports whether it
 	// believes member q alive.
-	Alive []bool
+	Alive []bool `json:"alive"`
 	// Stats is a copy of the protocol activity counters.
-	Stats core.Stats
+	Stats core.Stats `json:"stats"`
 }
 
 // statusOf samples p. Must run on the goroutine driving p.
 func statusOf(p *core.Process) Status {
 	return Status{
-		Running:    p.Running(),
-		HistoryLen: p.HistoryLen(),
-		WaitingLen: p.WaitingLen(),
-		Pending:    p.PendingSubmissions(),
-		Processed:  p.Processed().Clone(),
-		Alive:      append([]bool(nil), p.View().AliveMask()...),
-		Stats:      p.Stats,
+		ID:              p.ID(),
+		N:               p.View().N(),
+		Running:         p.Running(),
+		Subrun:          p.Subrun(),
+		Coordinator:     p.CurrentCoordinator(),
+		HistoryLen:      p.HistoryLen(),
+		HistoryBySender: p.History().PerSender(),
+		WaitingLen:      p.WaitingLen(),
+		Pending:         p.PendingSubmissions(),
+		Processed:       p.Processed().Clone(),
+		StableTo:        p.StableTo().Clone(),
+		Alive:           append([]bool(nil), p.View().AliveMask()...),
+		Stats:           p.Stats,
 	}
 }
 

@@ -161,7 +161,7 @@ func NewUDPNode(cfg UDPConfig) (*UDPNode, error) {
 	}
 	n := &UDPNode{
 		cfg:     cfg,
-		obs:     newNodeObs(cfg.Metrics, cfg.Self),
+		obs:     newNodeObs(cfg.Metrics, cfg.Self, cfg.N),
 		sock:    newSockObs(cfg.Metrics),
 		inbox:   make(chan func(), cfg.InboxDepth),
 		ind:     make(chan Indication, cfg.IndicationDepth),
