@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench bench-smoke chaos-smoke chaos-soak inspect-smoke clean
+.PHONY: all build test race vet check bench bench-smoke bench-throughput chaos-smoke chaos-soak inspect-smoke clean
 
 all: check
 
@@ -27,7 +27,7 @@ race:
 # upholds the uniform invariants under the race detector, and a live
 # three-member cluster inspects healthy end to end through the real
 # binaries.
-check: vet test race bench-smoke chaos-smoke inspect-smoke
+check: vet test race bench-smoke bench-throughput chaos-smoke inspect-smoke
 
 # inspect-smoke boots three urcgc-node processes, points urcgc-inspect at
 # their observability endpoints, and requires a healthy one-shot verdict —
@@ -61,6 +61,14 @@ bench:
 # not a measurement.
 bench-smoke:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+# bench-throughput is the batched hot-path smoke: a short run of the
+# ThroughputSaturation family (msgs/sec x cluster size x batch size) on
+# the live mesh runtime, exercising the coalescing sender and DataBatch
+# frames under real concurrency. Full-length numbers are recorded by
+# `make bench` into BENCH_BASELINE.json.
+bench-throughput:
+	$(GO) test -bench 'BenchmarkThroughputSaturation' -benchtime 500ms -run '^$$' .
 
 clean:
 	$(GO) clean ./...

@@ -58,6 +58,13 @@ func BenchmarkStageLatencyBreakdown(b *testing.B)     { benchsuite.StageLatencyB
 func BenchmarkLifecycleOverhead(b *testing.B)         { benchsuite.LifecycleOverhead(b) }
 func BenchmarkSamplerOverhead(b *testing.B)           { benchsuite.SamplerOverhead(b) }
 
+// ---- Throughput saturation: msgs/sec x cluster size x batch size ----
+
+func BenchmarkThroughputSaturationN5B1(b *testing.B)  { benchsuite.ThroughputSaturationN5B1(b) }
+func BenchmarkThroughputSaturationN5B8(b *testing.B)  { benchsuite.ThroughputSaturationN5B8(b) }
+func BenchmarkThroughputSaturationN5B32(b *testing.B) { benchsuite.ThroughputSaturationN5B32(b) }
+func BenchmarkThroughputSaturationN9B32(b *testing.B) { benchsuite.ThroughputSaturationN9B32(b) }
+
 // ---- Ablations ----
 
 // BenchmarkAblationTransportH quantifies the Section 5 trade: moving loss

@@ -63,6 +63,8 @@ func main() {
 		traceSlow = flag.Duration("trace-slow", time.Second, "flag a message stuck waiting longer than this on /trace (0 disables lifecycle tracing)")
 		sample    = flag.Duration("sample", time.Second, "flight-recorder sampling interval for /timeseries and /healthz (0 disables)")
 		window    = flag.Int("window", 512, "flight-recorder ring length: samples of history retained")
+		batchWin  = flag.Duration("batch-window", 0, "coalesce submissions arriving within this window into one DataBatch broadcast (0 disables batching)")
+		batchMax  = flag.Int("batch-max", 0, "max messages per subrun drain when batching (0 = default when -batch-window is set)")
 	)
 	flag.Parse()
 
@@ -82,10 +84,12 @@ func main() {
 	node, err := rt.NewUDPNode(rt.UDPConfig{
 		Config: core.Config{
 			N: len(addrs), K: *k, R: 2**k + 2, SelfExclusion: true,
+			BatchMax: *batchMax,
 		},
 		Self:          mid.ProcID(*self),
 		Peers:         addrs,
 		RoundDuration: *round,
+		BatchWindow:   *batchWin,
 		Metrics:       reg,
 		Lifecycle:     lcOpts,
 		Logf:          log.Printf,

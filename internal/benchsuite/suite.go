@@ -9,6 +9,8 @@ package benchsuite
 import (
 	"context"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -56,6 +58,10 @@ func Baseline() []Case {
 		{"StageLatencyBreakdown", StageLatencyBreakdown},
 		{"LifecycleOverhead", LifecycleOverhead},
 		{"SamplerOverhead", SamplerOverhead},
+		{"ThroughputSaturationN5B1", ThroughputSaturationN5B1},
+		{"ThroughputSaturationN5B8", ThroughputSaturationN5B8},
+		{"ThroughputSaturationN5B32", ThroughputSaturationN5B32},
+		{"ThroughputSaturationN9B32", ThroughputSaturationN9B32},
 	}
 }
 
@@ -402,6 +408,78 @@ func CBCASTRun(b *testing.B) {
 	}
 	b.ReportMetric(d, "delay_rtd")
 }
+
+// ---- Throughput saturation: msgs/sec x cluster size x batch size ----
+
+// benchThroughput saturates a live mesh cluster of n nodes with many
+// concurrent blocking senders and reports sustained confirmed messages per
+// second. batch <= 1 runs the classic path — one Data broadcast per subrun
+// per node, so throughput is capped near n/subrun — while batch > 1 turns
+// on the coalescing sender and multi-message DataBatch frames.
+func benchThroughput(b *testing.B, n, batch int) {
+	cfg := rt.Config{
+		Config:        core.Config{N: n, K: 3, R: 8, SelfExclusion: true},
+		RoundDuration: 200 * time.Microsecond,
+	}
+	if batch > 1 {
+		cfg.BatchWindow = 100 * time.Microsecond
+		cfg.BatchMax = batch
+	}
+	c, err := rt.NewCluster(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	payload := make([]byte, 64)
+	// Enough in-flight senders per node to fill every subrun's drain even
+	// at the largest batch budget benched.
+	const workers = 64
+	var next atomic.Int64
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	b.ReportAllocs()
+	b.ResetTimer()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(b.N) {
+					return
+				}
+				if _, err := c.Node(mid.ProcID(int(i)%n)).Send(ctx, payload, nil); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	b.StopTimer()
+	close(errs)
+	for err := range errs {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "msgs/s")
+}
+
+// ThroughputSaturationN5B1 is the unbatched control: five nodes, classic
+// one-Data-per-subrun hot path.
+func ThroughputSaturationN5B1(b *testing.B) { benchThroughput(b, 5, 1) }
+
+// ThroughputSaturationN5B8 batches up to 8 messages per subrun drain.
+func ThroughputSaturationN5B8(b *testing.B) { benchThroughput(b, 5, 8) }
+
+// ThroughputSaturationN5B32 batches up to 32 messages per subrun drain —
+// the acceptance shape, required to confirm >= 3x the unbatched rate.
+func ThroughputSaturationN5B32(b *testing.B) { benchThroughput(b, 5, 32) }
+
+// ThroughputSaturationN9B32 scales the batched shape to nine nodes.
+func ThroughputSaturationN9B32(b *testing.B) { benchThroughput(b, 9, 32) }
 
 // LiveConfirmLatency measures the urcgc-data.Rq -> Conf latency on the live
 // goroutine runtime (one confirm per iteration), exercising the real codec

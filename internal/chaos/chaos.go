@@ -55,6 +55,12 @@ type Config struct {
 	Settle time.Duration
 	// SendEvery is each member's submission cadence (default 4*Round).
 	SendEvery time.Duration
+	// BatchWindow, when positive, enables the runtime's coalescing sender
+	// so the soak exercises DataBatch traffic under the fault schedule.
+	BatchWindow time.Duration
+	// BatchMax caps the per-subrun drain when batching (0 = runtime
+	// default when BatchWindow is set).
+	BatchMax int
 	// SendTimeout abandons a confirm wait (default max(100*Round, 200ms));
 	// abandoned sends are legal — the message stays in flight.
 	SendTimeout time.Duration
@@ -198,8 +204,9 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	logf("%s", sched)
 	hook := faultrt.NewHook(sched.Injector(), cfg.Metrics)
 	cl, err := rt.NewCluster(rt.Config{
-		Config:        core.Config{N: cfg.N, K: cfg.K, R: cfg.R},
+		Config:        core.Config{N: cfg.N, K: cfg.K, R: cfg.R, BatchMax: cfg.BatchMax},
 		RoundDuration: cfg.Round,
+		BatchWindow:   cfg.BatchWindow,
 		Metrics:       cfg.Metrics,
 		Lifecycle:     cfg.Lifecycle,
 		Fault:         hook,

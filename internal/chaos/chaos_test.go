@@ -33,6 +33,31 @@ func TestSmokeSoak(t *testing.T) {
 	assessSoak(t, rep, reg)
 }
 
+// TestSmokeSoakBatched repeats the CI chaos gate with the batched hot path
+// on — coalescing sender plus multi-message DataBatch frames — and holds
+// it to the same invariant audit: batching must not cost Uniform Atomicity
+// or Uniform Ordering under crashes, partitions, omissions, reordering and
+// duplication.
+func TestSmokeSoakBatched(t *testing.T) {
+	reg := obs.New()
+	cfg := Config{
+		Seed:        41,
+		Duration:    1500 * time.Millisecond,
+		BatchWindow: 2 * time.Millisecond,
+		BatchMax:    16,
+		Metrics:     reg,
+		Lifecycle: &lifecycle.Options{
+			SlowThreshold: 250 * time.Millisecond,
+		},
+		Logf: t.Logf,
+	}
+	rep, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assessSoak(t, rep, reg)
+}
+
 // TestLongSoak is the acceptance soak: 60 seconds of faults. Gated behind
 // URCGC_CHAOS_SOAK=1 so the ordinary suite stays fast; the chaos CLI runs
 // the same shape interactively.

@@ -48,6 +48,17 @@ type Config struct {
 	// RecoveryBatch caps how many messages of one sequence a single
 	// RECOVER asks for. Zero means DefaultRecoveryBatch.
 	RecoveryBatch int
+	// BatchMax caps how many queued user messages one subrun may
+	// broadcast. Zero or one keeps the classic one-Data-per-subrun
+	// schedule; larger values drain up to BatchMax messages per subrun as
+	// DataBatch frames, amortizing the subrun's control traffic
+	// (REQUEST/DECISION) over the whole batch the same way Table 1
+	// amortizes it over a subrun.
+	BatchMax int
+	// BatchBytes is the encoded-size budget of one DataBatch frame; a
+	// drained batch is split into frames no larger than this, so batching
+	// never manufactures oversize datagrams. Zero means DefaultBatchBytes.
+	BatchBytes int
 	// SelfExclusion enables the two autonomous-leave rules (suicide is
 	// always on): leaving after R failed recoveries and after K subruns
 	// without hearing any believed-alive coordinator. Experiments that
@@ -68,6 +79,14 @@ func (c Config) IsObserver(i mid.ProcID) bool {
 // DefaultRecoveryBatch bounds one RECOVER's per-sequence ask.
 const DefaultRecoveryBatch = 16
 
+// DefaultBatchBytes bounds one DataBatch frame: it fits a 64 KiB UDP
+// datagram with headroom for the runtime's framing.
+const DefaultBatchBytes = 60 * 1024
+
+// DefaultBatchMax is the per-subrun drain the runtime adopts when its
+// coalescing sender is enabled without an explicit BatchMax.
+const DefaultBatchMax = 32
+
 // Validate reports configuration errors.
 func (c Config) Validate() error {
 	if c.N < 1 {
@@ -82,7 +101,7 @@ func (c Config) Validate() error {
 	if c.SelfExclusion && c.R <= 2*c.K {
 		return fmt.Errorf("core: R = %d must exceed 2K = %d (paper: R > 2K+f)", c.R, 2*c.K)
 	}
-	if c.HistoryThreshold < 0 || c.RecoveryBatch < 0 {
+	if c.HistoryThreshold < 0 || c.RecoveryBatch < 0 || c.BatchMax < 0 || c.BatchBytes < 0 {
 		return fmt.Errorf("core: negative threshold")
 	}
 	if c.Observers != nil {
@@ -107,6 +126,20 @@ func (c Config) recoveryBatch() mid.Seq {
 		return mid.Seq(c.RecoveryBatch)
 	}
 	return DefaultRecoveryBatch
+}
+
+func (c Config) batchMax() int {
+	if c.BatchMax > 1 {
+		return c.BatchMax
+	}
+	return 1
+}
+
+func (c Config) batchBytes() int {
+	if c.BatchBytes > 0 {
+		return c.BatchBytes
+	}
+	return DefaultBatchBytes
 }
 
 // LeaveReason says why a process halted.
@@ -158,8 +191,13 @@ type Callbacks struct {
 	OnGenerate func(m *causal.Message)
 	// OnBroadcast is invoked when a queued user message actually leaves
 	// the outbox onto the wire (broadcast may lag generation by rounds:
-	// one message per subrun, deferred further by flow control).
+	// at most BatchMax per subrun, deferred further by flow control).
 	OnBroadcast func(m *causal.Message)
+	// OnBatchBroadcast is invoked once per multi-message DataBatch frame
+	// broadcast, with the message count and encoded frame size. The
+	// per-message OnBroadcast still fires for every member; singleton
+	// sends travel as classic Data and never reach this callback.
+	OnBatchBroadcast func(msgs, bytes int)
 	// OnWait is invoked when a received message parks in the waiting list
 	// because its causal dependencies are not yet satisfied. missing
 	// lists the unmet dependencies; it is backed by a scratch buffer
@@ -273,6 +311,7 @@ type Stats struct {
 	Retransmits int // RETRANSMIT PDUs answered
 	Decisions   int // decisions computed as coordinator
 	Duplicates  int // duplicate or stale DATA received
+	Batches     int // multi-message DataBatch frames broadcast
 }
 
 // NewProcess returns a protocol entity for process id. The transport must
@@ -360,6 +399,14 @@ func (p *Process) Submit(payload []byte, deps mid.DepList) (mid.MID, error) {
 	}
 	if p.cfg.IsObserver(p.id) {
 		return mid.MID{}, fmt.Errorf("core: observer %d cannot generate messages", p.id)
+	}
+	// Reject here, at the protocol boundary, anything the 16-bit wire
+	// prefixes cannot carry — before the encoder could wrap it silently.
+	if len(payload) > wire.MaxPayload {
+		return mid.MID{}, fmt.Errorf("core: payload of %d bytes: %w", len(payload), wire.ErrTooLarge)
+	}
+	if len(deps) > wire.MaxDeps {
+		return mid.MID{}, fmt.Errorf("core: %d dependencies: %w", len(deps), wire.ErrTooLarge)
 	}
 	for _, d := range deps {
 		if d.IsZero() {
@@ -464,17 +511,11 @@ func (p *Process) startSubrun(s int64) {
 	p.decisionThisSub = false
 	p.requests = make(map[mid.ProcID]*wire.Request)
 
-	// Broadcast at most one queued user message, unless flow control defers.
+	// Broadcast queued user messages, unless flow control defers: at most
+	// BatchMax per subrun (classically one), split into byte-budgeted
+	// DataBatch frames when more than one leaves at once.
 	if len(p.outbox) > 0 && (p.cfg.HistoryThreshold == 0 || p.hist.Len() < p.cfg.HistoryThreshold) {
-		m := p.outbox[0]
-		p.outbox = p.outbox[1:]
-		p.Stats.Generated++
-		p.tp.Broadcast(&wire.Data{Msg: *m})
-		if p.cb.OnBroadcast != nil {
-			p.cb.OnBroadcast(m)
-		}
-		p.processMsg(m)
-		p.cascade()
+		p.broadcastOutbox()
 	}
 
 	// Send the REQUEST to the subrun's coordinator.
@@ -487,6 +528,75 @@ func (p *Process) startSubrun(s int64) {
 		p.requests[p.id] = req
 	} else {
 		p.tp.Send(coord, req)
+	}
+}
+
+// batchFrameOverhead is a DataBatch frame's kind(1) + count(2).
+const batchFrameOverhead = 3
+
+// msgBodySize is one message's encoded body: mid(8) + depCount(2) +
+// deps(8 each) + payloadLen(2) + payload.
+func msgBodySize(m *causal.Message) int {
+	return 8 + 2 + 8*len(m.Deps) + 2 + len(m.Payload)
+}
+
+// broadcastOutbox drains up to BatchMax queued messages onto the wire. A
+// single message travels as classic Data (wire-compatible with unbatched
+// peers); a larger drain is split greedily into DataBatch frames whose
+// encoded size stays within BatchBytes. Each broadcast message is also
+// processed locally, exactly as the unbatched path did.
+func (p *Process) broadcastOutbox() {
+	take := p.cfg.batchMax()
+	if take > len(p.outbox) {
+		take = len(p.outbox)
+	}
+	taken := p.outbox[:take]
+	p.outbox = p.outbox[take:]
+	budget := p.cfg.batchBytes()
+	for start := 0; start < len(taken); {
+		// Grow the frame while it fits the budget; a message that alone
+		// exceeds it still travels (Submit bounds fields, and the
+		// transport counts and rejects oversize frames).
+		size := batchFrameOverhead + msgBodySize(taken[start])
+		end := start + 1
+		for end < len(taken) && size+msgBodySize(taken[end]) <= budget {
+			size += msgBodySize(taken[end])
+			end++
+		}
+		p.broadcastFrame(taken[start:end], size)
+		start = end
+	}
+	p.cascade()
+}
+
+func (p *Process) broadcastFrame(batch []*causal.Message, encoded int) {
+	if len(batch) == 1 {
+		m := batch[0]
+		p.Stats.Generated++
+		p.tp.Broadcast(&wire.Data{Msg: *m})
+		if p.cb.OnBroadcast != nil {
+			p.cb.OnBroadcast(m)
+		}
+		p.processMsg(m)
+		return
+	}
+	// The simulator's transport retains PDUs by reference, so every frame
+	// gets a freshly allocated slice — never a reused scratch buffer.
+	pdu := &wire.DataBatch{Msgs: make([]causal.Message, len(batch))}
+	for i, m := range batch {
+		pdu.Msgs[i] = *m
+	}
+	p.Stats.Generated += len(batch)
+	p.Stats.Batches++
+	p.tp.Broadcast(pdu)
+	if p.cb.OnBatchBroadcast != nil {
+		p.cb.OnBatchBroadcast(len(batch), encoded)
+	}
+	for _, m := range batch {
+		if p.cb.OnBroadcast != nil {
+			p.cb.OnBroadcast(m)
+		}
+		p.processMsg(m)
 	}
 }
 
@@ -536,6 +646,13 @@ func (p *Process) Recv(src mid.ProcID, pdu wire.PDU) {
 	switch v := pdu.(type) {
 	case *wire.Data:
 		p.handleData(&v.Msg)
+	case *wire.DataBatch:
+		// One inbox event ingests the whole batch. Messages appear in
+		// generation order, so intra-batch causality (each implicitly
+		// depending on the sender's previous) resolves in a single pass.
+		for i := range v.Msgs {
+			p.handleData(&v.Msgs[i])
+		}
 	case *wire.Request:
 		if v.Subrun == p.subrun && p.coordinator(p.subrun) == p.id {
 			p.requests[v.Sender] = v

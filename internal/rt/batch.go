@@ -1,0 +1,131 @@
+package rt
+
+import (
+	"sync"
+	"time"
+
+	"urcgc/internal/core"
+	"urcgc/internal/mid"
+)
+
+// submission is one user Send waiting to enter the protocol through the
+// node goroutine.
+type submission struct {
+	payload []byte
+	deps    mid.DepList
+	causal  bool
+	res     chan subResult
+	confirm chan struct{}
+}
+
+type subResult struct {
+	id  mid.MID
+	err error
+}
+
+// wireCost is the submission's encoded body size on the wire — mid(8) +
+// depCount(2) + deps(8 each) + payloadLen(2) + payload. SubmitCausal
+// labels are computed later inside the node goroutine, so for causal
+// sends this is a floor, which only makes the coalescer flush earlier.
+func (s *submission) wireCost() int {
+	return 12 + 8*len(s.deps) + len(s.payload)
+}
+
+// coalescer batches user submissions: Sends arriving within BatchWindow
+// (or until the count/byte budget fills first) are handed to the node
+// goroutine as ONE inbox event, so the protocol's outbox drains them as
+// DataBatch frames in the next subrun instead of dribbling one Data per
+// subrun. Confirm semantics are untouched — every Send still blocks until
+// its own message is processed locally.
+type coalescer struct {
+	window   time.Duration
+	maxCount int
+	maxBytes int
+
+	// enqueue hands a closure to the node loop, blocking until accepted;
+	// it fails only on shutdown. submit runs one submission inside that
+	// loop. obs records flush sizes (nil-safe).
+	enqueue func(fn func()) error
+	submit  func(s *submission)
+	obs     *nodeObs
+
+	mu      sync.Mutex
+	pending []*submission
+	bytes   int
+	timer   *time.Timer
+}
+
+func newCoalescer(window time.Duration, maxCount, maxBytes int,
+	enqueue func(func()) error, submit func(*submission), o *nodeObs) *coalescer {
+	if maxCount <= 1 {
+		maxCount = core.DefaultBatchMax
+	}
+	if maxBytes <= 0 {
+		maxBytes = core.DefaultBatchBytes
+	}
+	return &coalescer{
+		window:   window,
+		maxCount: maxCount,
+		maxBytes: maxBytes,
+		enqueue:  enqueue,
+		submit:   submit,
+		obs:      o,
+	}
+}
+
+// add queues one submission. It returns once the submission is part of a
+// flushed or pending batch; the caller then waits on s.res and s.confirm
+// under its own context.
+func (c *coalescer) add(s *submission) {
+	c.mu.Lock()
+	c.pending = append(c.pending, s)
+	c.bytes += s.wireCost()
+	var batch []*submission
+	if len(c.pending) >= c.maxCount || c.bytes >= c.maxBytes {
+		batch = c.take()
+	} else if len(c.pending) == 1 {
+		c.timer = time.AfterFunc(c.window, c.fire)
+	}
+	c.mu.Unlock()
+	if batch != nil {
+		c.flush(batch)
+	}
+}
+
+// take must run under mu: it claims the pending batch and disarms the
+// window timer.
+func (c *coalescer) take() []*submission {
+	batch := c.pending
+	c.pending = nil
+	c.bytes = 0
+	if c.timer != nil {
+		c.timer.Stop()
+		c.timer = nil
+	}
+	return batch
+}
+
+func (c *coalescer) fire() {
+	c.mu.Lock()
+	batch := c.take()
+	c.mu.Unlock()
+	if len(batch) > 0 {
+		c.flush(batch)
+	}
+}
+
+// flush hands the whole batch to the node goroutine as one inbox event.
+// On shutdown every waiter is answered with the enqueue error instead of
+// being left to hang.
+func (c *coalescer) flush(batch []*submission) {
+	c.obs.coalesced(len(batch))
+	if err := c.enqueue(func() {
+		for _, s := range batch {
+			c.submit(s)
+		}
+	}); err != nil {
+		for _, s := range batch {
+			s.res <- subResult{err: err}
+		}
+	}
+}

@@ -1,0 +1,244 @@
+package rt
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"urcgc/internal/core"
+	"urcgc/internal/mid"
+	"urcgc/internal/obs"
+)
+
+// sumMetric adds up a (possibly node-labeled) counter family from a
+// registry snapshot.
+func sumMetric(reg *obs.Registry, prefix string) int64 {
+	var total int64
+	for name, v := range reg.Snapshot() {
+		if strings.HasPrefix(name, prefix) {
+			total += v
+		}
+	}
+	return total
+}
+
+// TestCoalescedSendsConverge fires a burst of concurrent Sends through the
+// coalescing sender: every send must confirm, every node must process every
+// message, and the burst must actually leave as multi-message DataBatch
+// frames rather than 32 singleton broadcasts.
+func TestCoalescedSendsConverge(t *testing.T) {
+	reg := obs.New()
+	cfg := liveConfig(3)
+	cfg.RoundDuration = time.Millisecond
+	// The window is deliberately huge next to the goroutine launch time:
+	// the flush that matters is the count-budget one at DefaultBatchMax.
+	cfg.BatchWindow = 100 * time.Millisecond
+	cfg.Metrics = reg
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	const burst = core.DefaultBatchMax
+	var wg sync.WaitGroup
+	errs := make(chan error, burst)
+	for k := 0; k < burst; k++ {
+		wg.Add(1)
+		k := k
+		go func() {
+			defer wg.Done()
+			if _, err := c.Node(0).Send(ctx, []byte(fmt.Sprintf("burst-%d", k)), nil); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	waitConverged(t, c, mid.SeqVector{burst, 0, 0}, 15*time.Second)
+
+	if frames := sumMetric(reg, "rt_batch_frames_total"); frames == 0 {
+		t.Errorf("a %d-send burst through the coalescer broadcast no DataBatch frames", burst)
+	}
+	if msgs := sumMetric(reg, "rt_batch_msgs_total"); msgs == 0 {
+		t.Errorf("rt_batch_msgs_total is zero after a coalesced burst")
+	}
+}
+
+// TestCoalescedCausalSendPreservesDeps checks SendCausal through the
+// coalescer: a message coalesced behind its dependency must still be
+// delivered after it everywhere.
+func TestCoalescedCausalSendPreservesDeps(t *testing.T) {
+	cfg := liveConfig(3)
+	cfg.RoundDuration = time.Millisecond
+	cfg.BatchWindow = 5 * time.Millisecond
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	for k := 0; k < 4; k++ {
+		if _, err := c.Node(0).SendCausal(ctx, []byte(fmt.Sprintf("c-%d", k))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitConverged(t, c, mid.SeqVector{4, 0, 0}, 15*time.Second)
+}
+
+// TestCoalescerFlushesOnWindow pins the timer path: a lone submission —
+// under every budget — must still flush once the window elapses.
+func TestCoalescerFlushesOnWindow(t *testing.T) {
+	cfg := liveConfig(2)
+	cfg.RoundDuration = time.Millisecond
+	cfg.BatchWindow = 2 * time.Millisecond
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := c.Node(0).Send(ctx, []byte("solo"), nil); err != nil {
+		t.Fatal(err)
+	}
+	waitConverged(t, c, mid.SeqVector{1, 0}, 10*time.Second)
+}
+
+// TestUDPOversizeSendCounted pins the transport-boundary bugfix: a frame
+// the 64 KiB datagram cannot carry is counted and dropped at the sender
+// instead of being handed to WriteToUDP to fail (or worse, truncate).
+// A maximum-payload Data message plus framing exceeds the datagram budget,
+// so it is processed locally but never reaches the peer.
+func TestUDPOversizeSendCounted(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real sockets and timers")
+	}
+	reg := obs.New()
+	peers := freePorts(t, 2)
+	node, err := NewUDPNode(UDPConfig{
+		// K is high so the lone live node does not exclude its silent peer
+		// (or itself) before the assertion runs.
+		Config:        core.Config{N: 2, K: 100, R: 256, SelfExclusion: true},
+		Self:          0,
+		Peers:         peers,
+		RoundDuration: 2 * time.Millisecond,
+		Metrics:       reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node.Start()
+	defer node.Stop()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	payload := make([]byte, 65535) // accepted by Submit; oversize once framed
+	if _, err := node.Send(ctx, payload, nil); err != nil {
+		t.Fatalf("oversize-on-wire send must still confirm locally: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for reg.Counter("udp_send_oversize_total").Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("udp_send_oversize_total never incremented for a >64KiB frame")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestUDPBatchedGroupConverges drives a real-socket group with coalescing
+// enabled: DataBatch frames cross actual UDP datagrams (and the
+// sendmmsg/recvmmsg burst paths where the platform has them).
+func TestUDPBatchedGroupConverges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real sockets and timers")
+	}
+	const n = 3
+	reg := obs.New()
+	peers := freePorts(t, n)
+	nodes := make([]*UDPNode, n)
+	for i := 0; i < n; i++ {
+		node, err := NewUDPNode(UDPConfig{
+			Config:        core.Config{N: n, K: 3, R: 8, SelfExclusion: true},
+			Self:          mid.ProcID(i),
+			Peers:         peers,
+			RoundDuration: 3 * time.Millisecond,
+			BatchWindow:   2 * time.Millisecond,
+			Metrics:       reg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = node
+	}
+	for _, node := range nodes {
+		node.Start()
+	}
+	defer func() {
+		for _, node := range nodes {
+			node.Stop()
+		}
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	const perNode = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, n*perNode)
+	for i := 0; i < n; i++ {
+		for k := 0; k < perNode; k++ {
+			wg.Add(1)
+			i, k := i, k
+			go func() {
+				defer wg.Done()
+				if _, err := nodes[i].Send(ctx, []byte(fmt.Sprintf("ub%d-%d", i, k)), nil); err != nil {
+					errs <- fmt.Errorf("node %d send %d: %w", i, k, err)
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	want := mid.SeqVector{perNode, perNode, perNode}
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		ok := true
+		for i := 0; i < n; i++ {
+			var got mid.SeqVector
+			sctx, scancel := context.WithTimeout(ctx, 2*time.Second)
+			err := nodes[i].Snapshot(sctx, func(p *core.Process) { got = p.Processed().Clone() })
+			scancel()
+			if err != nil || !got.Equal(want) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("batched UDP group never converged")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if reg.Counter("udp_send_oversize_total").Value() != 0 {
+		t.Error("batched traffic tripped the oversize guard; the batcher must split to the datagram budget")
+	}
+}

@@ -1,0 +1,7 @@
+//go:build linux
+
+package rt
+
+// sendmmsg(2)'s syscall number on linux/arm64; it postdates the frozen
+// syscall package tables, which carry only SYS_RECVMMSG.
+const sysSENDMMSG = 269

@@ -40,6 +40,11 @@ type nodeObs struct {
 	decisionLat *obs.Histogram
 	confirmLat  *obs.Histogram
 
+	batchFrames *obs.Counter   // multi-message DataBatch frames broadcast
+	batchMsgs   *obs.Counter   // user messages carried by those frames
+	batchSize   *obs.Histogram // messages per DataBatch frame
+	coalesceSz  *obs.Histogram // submissions per coalescer flush
+
 	// subrunStart is the wall-clock open of the member's current subrun,
 	// written and read only on the node loop goroutine.
 	subrunStart time.Time
@@ -75,6 +80,10 @@ func newNodeObs(reg *obs.Registry, id mid.ProcID, n int) *nodeObs {
 		stableSum:   reg.Gauge(l("core_stable_sum")),
 		decisionLat: reg.Histogram(l("rt_decision_latency_seconds"), obs.DurationBuckets),
 		confirmLat:  reg.Histogram(l("rt_confirm_latency_seconds"), obs.DurationBuckets),
+		batchFrames: reg.Counter(l("rt_batch_frames_total")),
+		batchMsgs:   reg.Counter(l("rt_batch_msgs_total")),
+		batchSize:   reg.Histogram(l("rt_batch_frame_msgs"), obs.LengthBuckets),
+		coalesceSz:  reg.Histogram(l("rt_coalesce_flush_msgs"), obs.LengthBuckets),
 	}
 	o.aliveCount.Set(int64(n))
 	return o
@@ -103,6 +112,15 @@ func (o *nodeObs) install(cb core.Callbacks) core.Callbacks {
 		if !o.subrunStart.IsZero() {
 			o.decisionLat.ObserveSince(o.subrunStart)
 		}
+	}
+	prevBatch := cb.OnBatchBroadcast
+	cb.OnBatchBroadcast = func(msgs, bytes int) {
+		if prevBatch != nil {
+			prevBatch(msgs, bytes)
+		}
+		o.batchFrames.Inc()
+		o.batchMsgs.Add(int64(msgs))
+		o.batchSize.Observe(float64(msgs))
 	}
 	prevSubrun := cb.OnSubrunStart
 	cb.OnSubrunStart = func(s int64, coord mid.ProcID) {
@@ -162,6 +180,14 @@ func (o *nodeObs) markRound(r int) {
 		return
 	}
 	o.subrunStart = time.Now()
+}
+
+// coalesced records one coalescer flush of n submissions. Safe from any
+// goroutine.
+func (o *nodeObs) coalesced(n int) {
+	if o != nil {
+		o.coalesceSz.Observe(float64(n))
+	}
 }
 
 // indicationDropped counts a slow consumer losing an indication.

@@ -32,6 +32,14 @@ type Config struct {
 	// must comfortably exceed the in-process delivery time; the default
 	// of 2ms is generous.
 	RoundDuration time.Duration
+	// BatchWindow enables the coalescing sender: Send/SendCausal calls
+	// arriving within this window (or until the BatchMax / BatchBytes
+	// budgets fill first) enter the node goroutine as one inbox event and
+	// leave the next subrun as DataBatch frames. Zero disables
+	// coalescing: every Send is its own inbox event and subruns carry at
+	// most BatchMax messages. When set while BatchMax is zero, BatchMax
+	// defaults to core.DefaultBatchMax so the batches actually drain.
+	BatchWindow time.Duration
 	// InboxDepth bounds each node's datagram queue; overflow drops, like
 	// any datagram network. Default 4096.
 	InboxDepth int
@@ -57,6 +65,9 @@ type Config struct {
 func (c *Config) fill() {
 	if c.RoundDuration == 0 {
 		c.RoundDuration = 2 * time.Millisecond
+	}
+	if c.BatchWindow > 0 && c.BatchMax == 0 {
+		c.BatchMax = core.DefaultBatchMax
 	}
 	if c.InboxDepth == 0 {
 		c.InboxDepth = 4096
@@ -198,6 +209,7 @@ type Node struct {
 	proc   *core.Process
 	obs    *nodeObs
 	tracer *lifecycle.Tracer
+	coal   *coalescer // nil unless BatchWindow is set
 
 	inbox chan func()
 	ind   chan Indication
@@ -224,6 +236,11 @@ func newNode(c *Cluster, id mid.ProcID) *Node {
 			opts.Blame = c.cfg.Fault.Blame
 		}
 		n.tracer = lifecycle.New(id, c.cfg.N, opts, c.cfg.Metrics)
+	}
+	if c.cfg.BatchWindow > 0 {
+		n.coal = newCoalescer(c.cfg.BatchWindow, c.cfg.BatchMax, c.cfg.BatchBytes,
+			func(fn func()) error { return n.enqueueWait(context.Background(), fn) },
+			n.submitNow, n.obs)
 	}
 	return n
 }
@@ -356,83 +373,53 @@ func (n *Node) unwait(id mid.MID, ch chan struct{}) {
 // until the message has been processed locally (the Confirm), or the
 // context ends.
 func (n *Node) Send(ctx context.Context, payload []byte, deps mid.DepList) (mid.MID, error) {
-	type result struct {
-		id  mid.MID
-		err error
-	}
-	t0 := time.Now()
-	resCh := make(chan result, 1)
-	confirm := make(chan struct{})
-	if err := n.enqueueWait(ctx, func() {
-		if n.Killed() {
-			resCh <- result{err: fmt.Errorf("rt: member %d is fail-stopped", n.id)}
-			return
-		}
-		id, err := n.proc.Submit(payload, deps)
-		if err == nil {
-			n.mu.Lock()
-			n.waiters[id] = confirm
-			n.mu.Unlock()
-		}
-		resCh <- result{id, err}
-	}); err != nil {
-		return mid.MID{}, err
-	}
-	var r result
-	select {
-	case r = <-resCh:
-	case <-n.c.stopCh:
-		return mid.MID{}, fmt.Errorf("rt: cluster stopped")
-	case <-ctx.Done():
-		return mid.MID{}, ctx.Err()
-	}
-	if r.err != nil {
-		return mid.MID{}, r.err
-	}
-	select {
-	case <-confirm:
-	case <-n.c.stopCh:
-		n.unwait(r.id, confirm)
-		return r.id, fmt.Errorf("rt: cluster stopped")
-	case <-ctx.Done():
-		n.unwait(r.id, confirm)
-		return r.id, ctx.Err()
-	}
-	if _, left := n.Left(); left {
-		return r.id, fmt.Errorf("rt: member %d left the group", n.id)
-	}
-	n.obs.observeConfirm(t0)
-	return r.id, nil
+	return n.send(ctx, payload, deps, false)
 }
 
 // SendCausal is Send with the conservative depend-on-everything-seen
 // labelling computed inside the node goroutine.
 func (n *Node) SendCausal(ctx context.Context, payload []byte) (mid.MID, error) {
-	type result struct {
-		id  mid.MID
-		err error
+	return n.send(ctx, payload, nil, true)
+}
+
+// submitNow runs one queued submission. Loop goroutine only.
+func (n *Node) submitNow(s *submission) {
+	if n.Killed() {
+		s.res <- subResult{err: fmt.Errorf("rt: member %d is fail-stopped", n.id)}
+		return
 	}
+	var id mid.MID
+	var err error
+	if s.causal {
+		id, err = n.proc.SubmitCausal(s.payload)
+	} else {
+		id, err = n.proc.Submit(s.payload, s.deps)
+	}
+	if err == nil {
+		n.mu.Lock()
+		n.waiters[id] = s.confirm
+		n.mu.Unlock()
+	}
+	s.res <- subResult{id, err}
+}
+
+func (n *Node) send(ctx context.Context, payload []byte, deps mid.DepList, causal bool) (mid.MID, error) {
 	t0 := time.Now()
-	resCh := make(chan result, 1)
-	confirm := make(chan struct{})
-	if err := n.enqueueWait(ctx, func() {
-		if n.Killed() {
-			resCh <- result{err: fmt.Errorf("rt: member %d is fail-stopped", n.id)}
-			return
-		}
-		id, err := n.proc.SubmitCausal(payload)
-		if err == nil {
-			n.mu.Lock()
-			n.waiters[id] = confirm
-			n.mu.Unlock()
-		}
-		resCh <- result{id, err}
-	}); err != nil {
+	s := &submission{
+		payload: payload,
+		deps:    deps,
+		causal:  causal,
+		res:     make(chan subResult, 1),
+		confirm: make(chan struct{}),
+	}
+	if n.coal != nil {
+		n.coal.add(s)
+	} else if err := n.enqueueWait(ctx, func() { n.submitNow(s) }); err != nil {
 		return mid.MID{}, err
 	}
-	var r result
+	var r subResult
 	select {
-	case r = <-resCh:
+	case r = <-s.res:
 	case <-n.c.stopCh:
 		return mid.MID{}, fmt.Errorf("rt: cluster stopped")
 	case <-ctx.Done():
@@ -442,13 +429,16 @@ func (n *Node) SendCausal(ctx context.Context, payload []byte) (mid.MID, error) 
 		return mid.MID{}, r.err
 	}
 	select {
-	case <-confirm:
+	case <-s.confirm:
 	case <-n.c.stopCh:
-		n.unwait(r.id, confirm)
+		n.unwait(r.id, s.confirm)
 		return r.id, fmt.Errorf("rt: cluster stopped")
 	case <-ctx.Done():
-		n.unwait(r.id, confirm)
+		n.unwait(r.id, s.confirm)
 		return r.id, ctx.Err()
+	}
+	if _, left := n.Left(); left {
+		return r.id, fmt.Errorf("rt: member %d left the group", n.id)
 	}
 	n.obs.observeConfirm(t0)
 	return r.id, nil

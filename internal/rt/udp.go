@@ -32,6 +32,12 @@ type UDPConfig struct {
 	// RoundDuration is the wall-clock round length. It must comfortably
 	// exceed the LAN round-trip time; default 20ms.
 	RoundDuration time.Duration
+	// BatchWindow enables the coalescing sender: Send calls arriving
+	// within this window (or until the BatchMax / BatchBytes budgets fill
+	// first) enter the protocol loop as one event and leave the next
+	// subrun as DataBatch frames. Zero disables coalescing. When set
+	// while BatchMax is zero, BatchMax defaults to core.DefaultBatchMax.
+	BatchWindow time.Duration
 	// InboxDepth bounds the datagram queue (default 4096).
 	InboxDepth int
 	// IndicationDepth bounds the indication queue (default 4096).
@@ -61,6 +67,9 @@ func (c *UDPConfig) fill() {
 	if c.RoundDuration == 0 {
 		c.RoundDuration = 20 * time.Millisecond
 	}
+	if c.BatchWindow > 0 && c.BatchMax == 0 {
+		c.BatchMax = core.DefaultBatchMax
+	}
 	if c.InboxDepth == 0 {
 		c.InboxDepth = 4096
 	}
@@ -78,6 +87,12 @@ type UDPNode struct {
 	obs    *nodeObs
 	sock   *sockObs
 	tracer *lifecycle.Tracer
+	coal   *coalescer  // nil unless BatchWindow is set
+	mmsend *mmsgSender // nil where sendmmsg is unavailable
+
+	// burstScratch collects the clean-verdict destinations of one
+	// Broadcast for the burst syscall. Loop goroutine only.
+	burstScratch []mid.ProcID
 
 	inbox chan func()
 	ind   chan Indication
@@ -115,6 +130,7 @@ type sockObs struct {
 	sendDatagrams *obs.Counter
 	sendBytes     *obs.Counter
 	sendErrors    *obs.Counter
+	sendOversize  *obs.Counter
 	dropShort     *obs.Counter
 	dropBadSrc    *obs.Counter
 	dropDecode    *obs.Counter
@@ -133,6 +149,7 @@ func newSockObs(reg *obs.Registry) *sockObs {
 		sendDatagrams: reg.Counter("udp_send_datagrams_total"),
 		sendBytes:     reg.Counter("udp_send_bytes_total"),
 		sendErrors:    reg.Counter("udp_send_errors_total"),
+		sendOversize:  reg.Counter("udp_send_oversize_total"),
 		dropShort:     reg.Counter("udp_drop_short_total"),
 		dropBadSrc:    reg.Counter("udp_drop_badsrc_total"),
 		dropDecode:    reg.Counter("udp_drop_decode_total"),
@@ -221,7 +238,24 @@ func NewUDPNode(cfg UDPConfig) (*UDPNode, error) {
 		return nil, err
 	}
 	n.proc = proc
+	if cfg.BatchWindow > 0 {
+		n.coal = newCoalescer(cfg.BatchWindow, cfg.BatchMax, cfg.BatchBytes,
+			n.enqueueCommand, n.submitNow, n.obs)
+	}
+	n.mmsend = newMmsgSender(n) // nil → single-syscall fallback
+	n.burstScratch = make([]mid.ProcID, 0, cfg.N)
 	return n, nil
+}
+
+// enqueueCommand hands a user command to the protocol loop, blocking while
+// the inbox is full — commands are not datagrams and must not be lost.
+func (n *UDPNode) enqueueCommand(fn func()) error {
+	select {
+	case n.inbox <- fn:
+		return nil
+	case <-n.stopCh:
+		return fmt.Errorf("rt: node stopped")
+	}
 }
 
 // Lifecycle returns the member's message-lifecycle tracer, or nil when
@@ -261,33 +295,48 @@ func (n *UDPNode) Left() (core.LeaveReason, bool) {
 	return *n.leftWith, true
 }
 
-// Send is the urcgc-data.Rq/Conf pair over UDP.
+// submitNow runs one queued submission. Loop goroutine only.
+func (n *UDPNode) submitNow(s *submission) {
+	var id mid.MID
+	var err error
+	if s.causal {
+		id, err = n.proc.SubmitCausal(s.payload)
+	} else {
+		id, err = n.proc.Submit(s.payload, s.deps)
+	}
+	if err == nil {
+		n.mu.Lock()
+		n.waiters[id] = s.confirm
+		n.mu.Unlock()
+	}
+	s.res <- subResult{id, err}
+}
+
+// Send is the urcgc-data.Rq/Conf pair over UDP. With BatchWindow set,
+// concurrent Sends coalesce into DataBatch frames; each still blocks until
+// its own message is processed locally.
 func (n *UDPNode) Send(ctx context.Context, payload []byte, deps mid.DepList) (mid.MID, error) {
-	type result struct {
-		id  mid.MID
-		err error
-	}
 	t0 := time.Now()
-	resCh := make(chan result, 1)
-	confirm := make(chan struct{})
-	select {
-	case n.inbox <- func() {
-		id, err := n.proc.Submit(payload, deps)
-		if err == nil {
-			n.mu.Lock()
-			n.waiters[id] = confirm
-			n.mu.Unlock()
-		}
-		resCh <- result{id, err}
-	}:
-	case <-n.stopCh:
-		return mid.MID{}, fmt.Errorf("rt: node stopped")
-	case <-ctx.Done():
-		return mid.MID{}, ctx.Err()
+	s := &submission{
+		payload: payload,
+		deps:    deps,
+		res:     make(chan subResult, 1),
+		confirm: make(chan struct{}),
 	}
-	var r result
+	if n.coal != nil {
+		n.coal.add(s)
+	} else {
+		select {
+		case n.inbox <- func() { n.submitNow(s) }:
+		case <-n.stopCh:
+			return mid.MID{}, fmt.Errorf("rt: node stopped")
+		case <-ctx.Done():
+			return mid.MID{}, ctx.Err()
+		}
+	}
+	var r subResult
 	select {
-	case r = <-resCh:
+	case r = <-s.res:
 	case <-n.stopCh:
 		return mid.MID{}, fmt.Errorf("rt: node stopped")
 	case <-ctx.Done():
@@ -297,12 +346,12 @@ func (n *UDPNode) Send(ctx context.Context, payload []byte, deps mid.DepList) (m
 		return mid.MID{}, r.err
 	}
 	select {
-	case <-confirm:
+	case <-s.confirm:
 	case <-n.stopCh:
-		n.unwait(r.id, confirm)
+		n.unwait(r.id, s.confirm)
 		return r.id, fmt.Errorf("rt: node stopped")
 	case <-ctx.Done():
-		n.unwait(r.id, confirm)
+		n.unwait(r.id, s.confirm)
 		return r.id, ctx.Err()
 	}
 	n.obs.observeConfirm(t0)
@@ -387,7 +436,18 @@ func (n *UDPNode) clock() {
 	}
 }
 
+// errMmsgUnsupported is the burst receiver's "fall back to the classic
+// reader" signal: the platform built the receiver but the running kernel
+// refused the syscall.
+var errMmsgUnsupported = fmt.Errorf("rt: recvmmsg unsupported by kernel")
+
 func (n *UDPNode) reader() {
+	if m := newMmsgReceiver(n); m != nil {
+		if n.readerBurst(m) {
+			return
+		}
+		// recvmmsg refused at runtime: classic path takes over.
+	}
 	// One byte of slack past maxDatagram distinguishes an exactly-full
 	// datagram from one the kernel truncated to fit the buffer.
 	buf := make([]byte, maxDatagram+1)
@@ -405,75 +465,111 @@ func (n *UDPNode) reader() {
 				continue // transient read error: a datagram lost
 			}
 		}
-		if n.sock != nil {
-			n.sock.recvDatagrams.Inc()
-			n.sock.recvBytes.Add(int64(sz))
-		}
-		if sz > maxDatagram {
-			if n.sock != nil {
-				n.sock.dropOversize.Inc()
-			}
-			n.warnf("oversize datagram from %v truncated past %d bytes: dropped", from, maxDatagram)
-			continue
-		}
-		if sz < 4 {
-			if n.sock != nil {
-				n.sock.dropShort.Inc()
-			}
-			n.warnf("runt datagram (%d bytes) from %v: dropped", sz, from)
-			continue
-		}
-		src := mid.ProcID(int32(binary.BigEndian.Uint32(buf[:4])))
-		if src < 0 || int(src) >= n.cfg.N {
-			if n.sock != nil {
-				n.sock.dropBadSrc.Inc()
-			}
-			n.warnf("datagram from %v claims member %d outside group of %d: dropped", from, src, n.cfg.N)
-			continue
-		}
-		act := n.cfg.Fault.Recv(src, n.cfg.Self)
-		if act.Drop {
-			continue // injected receive omission (or crashed self)
-		}
-		// Decode in place: Unmarshal never aliases its input, so the read
-		// buffer is immediately reusable for the next datagram — no
-		// per-datagram copy or allocation.
-		pdu, err := wire.Unmarshal(buf[4:sz])
-		if err != nil {
-			if n.sock != nil {
-				n.sock.dropDecode.Inc()
-			}
-			n.warnf("undecodable datagram from %v (%d bytes): %v", from, sz, err)
-			continue // malformed datagram: dropped
-		}
-		if !act.Faulty() {
-			n.enqueueDatagram(func() { n.proc.Recv(src, pdu) })
-			continue
-		}
-		// Receive-side duplicates each decode their own self-owned PDU
-		// before the read buffer is reused for the next datagram.
-		var extra []wire.PDU
-		for i := 0; i < act.Dup; i++ {
-			d, derr := wire.Unmarshal(buf[4:sz])
-			if derr != nil {
-				break
-			}
-			extra = append(extra, d)
-		}
-		deliver := func() {
-			n.enqueueDatagram(func() {
-				n.proc.Recv(src, pdu)
-				for _, d := range extra {
-					n.proc.Recv(src, d)
-				}
-			})
-		}
-		if act.Delay > 0 {
-			time.AfterFunc(act.Delay, deliver)
-			continue
-		}
-		deliver()
+		n.handleDatagram(buf[:sz], from)
 	}
+}
+
+// readerBurst drains the socket with recvmmsg: each wakeup ingests up to a
+// whole burst of datagrams in one syscall. Per-datagram handling is
+// identical to the classic reader. Reports whether it ran to shutdown
+// (false asks the caller to fall back to the classic loop).
+func (n *UDPNode) readerBurst(m *mmsgReceiver) bool {
+	for {
+		cnt, err := m.recv()
+		if err == errMmsgUnsupported {
+			return false
+		}
+		if err != nil {
+			select {
+			case <-n.stopCh:
+				return true
+			default:
+				if n.sock != nil {
+					n.sock.dropReadErr.Inc()
+				}
+				n.warnf("socket burst read error (datagrams lost): %v", err)
+				continue
+			}
+		}
+		for i := 0; i < cnt; i++ {
+			n.handleDatagram(m.packet(i), m.from(i))
+		}
+	}
+}
+
+// handleDatagram validates, decodes and enqueues one received datagram.
+// pkt is valid only for the duration of the call (the read buffer is
+// reused); from is used for warnings only and may be reused by the caller.
+func (n *UDPNode) handleDatagram(pkt []byte, from *net.UDPAddr) {
+	sz := len(pkt)
+	if n.sock != nil {
+		n.sock.recvDatagrams.Inc()
+		n.sock.recvBytes.Add(int64(sz))
+	}
+	if sz > maxDatagram {
+		if n.sock != nil {
+			n.sock.dropOversize.Inc()
+		}
+		n.warnf("oversize datagram from %v truncated past %d bytes: dropped", from, maxDatagram)
+		return
+	}
+	if sz < 4 {
+		if n.sock != nil {
+			n.sock.dropShort.Inc()
+		}
+		n.warnf("runt datagram (%d bytes) from %v: dropped", sz, from)
+		return
+	}
+	src := mid.ProcID(int32(binary.BigEndian.Uint32(pkt[:4])))
+	if src < 0 || int(src) >= n.cfg.N {
+		if n.sock != nil {
+			n.sock.dropBadSrc.Inc()
+		}
+		n.warnf("datagram from %v claims member %d outside group of %d: dropped", from, src, n.cfg.N)
+		return
+	}
+	act := n.cfg.Fault.Recv(src, n.cfg.Self)
+	if act.Drop {
+		return // injected receive omission (or crashed self)
+	}
+	// Decode in place: Unmarshal never aliases its input, so the read
+	// buffer is immediately reusable for the next datagram — no
+	// per-datagram copy or allocation.
+	pdu, err := wire.Unmarshal(pkt[4:])
+	if err != nil {
+		if n.sock != nil {
+			n.sock.dropDecode.Inc()
+		}
+		n.warnf("undecodable datagram from %v (%d bytes): %v", from, sz, err)
+		return // malformed datagram: dropped
+	}
+	if !act.Faulty() {
+		n.enqueueDatagram(func() { n.proc.Recv(src, pdu) })
+		return
+	}
+	// Receive-side duplicates each decode their own self-owned PDU
+	// before the read buffer is reused for the next datagram.
+	var extra []wire.PDU
+	for i := 0; i < act.Dup; i++ {
+		d, derr := wire.Unmarshal(pkt[4:])
+		if derr != nil {
+			break
+		}
+		extra = append(extra, d)
+	}
+	deliver := func() {
+		n.enqueueDatagram(func() {
+			n.proc.Recv(src, pdu)
+			for _, d := range extra {
+				n.proc.Recv(src, d)
+			}
+		})
+	}
+	if act.Delay > 0 {
+		time.AfterFunc(act.Delay, deliver)
+		return
+	}
+	deliver()
 }
 
 // enqueueDatagram hands a received datagram's closure to the protocol
@@ -514,10 +610,16 @@ func (t udpTransport) write(dst mid.ProcID, frame []byte) {
 }
 
 // ship applies the fault verdict for one destination, then writes the
-// frame 1+Dup times, possibly later. Delayed copies clone the frame into
-// their own pooled buffer because the caller reclaims frame on return.
+// frame 1+Dup times, possibly later.
 func (t udpTransport) ship(dst mid.ProcID, frame []byte) {
-	act := t.n.cfg.Fault.Send(t.n.cfg.Self, dst)
+	t.shipAct(dst, frame, t.n.cfg.Fault.Send(t.n.cfg.Self, dst))
+}
+
+// shipAct ships under an already-computed fault verdict, so the injector
+// is consulted exactly once per datagram per destination regardless of
+// which send path runs. Delayed copies clone the frame into their own
+// pooled buffer because the caller reclaims frame on return.
+func (t udpTransport) shipAct(dst mid.ProcID, frame []byte, act faultrt.Action) {
 	if act.Drop {
 		return // injected send omission (or crashed self)
 	}
@@ -537,12 +639,26 @@ func (t udpTransport) ship(dst mid.ProcID, frame []byte) {
 	}
 }
 
+// checkSize rejects a frame no receiver would accept: it would only be
+// sent for every peer to count it as udp_drop_oversize. Reported here at
+// the sender, where the operator can actually act on it.
+func (t udpTransport) checkSize(frame []byte, pdu wire.PDU) bool {
+	if len(frame) <= maxDatagram {
+		return true
+	}
+	if t.n.sock != nil {
+		t.n.sock.sendOversize.Inc()
+	}
+	t.n.warnf("oversize %v frame (%d bytes > %d): dropped before send", pdu.Kind(), len(frame), maxDatagram)
+	return false
+}
+
 func (t udpTransport) Send(dst mid.ProcID, pdu wire.PDU) {
 	if dst == t.n.cfg.Self || dst < 0 || int(dst) >= t.n.cfg.N {
 		return
 	}
 	frame, err := t.frame(pdu)
-	if err != nil {
+	if err != nil || !t.checkSize(frame, pdu) {
 		wire.PutBuf(frame)
 		return
 	}
@@ -551,20 +667,34 @@ func (t udpTransport) Send(dst mid.ProcID, pdu wire.PDU) {
 }
 
 // Broadcast marshals the PDU exactly once and sends the same framed bytes
-// to every peer; WriteToUDP does not retain the buffer, so it goes back to
-// the pool after the fan-out.
+// to every peer — destinations with a clean fault verdict leave in one
+// sendmmsg burst where the platform has it, the rest take the per-copy
+// path. Neither sender retains the buffer, so it goes back to the pool
+// after the fan-out.
 func (t udpTransport) Broadcast(pdu wire.PDU) {
 	frame, err := t.frame(pdu)
-	if err != nil {
+	if err != nil || !t.checkSize(frame, pdu) {
 		wire.PutBuf(frame)
 		return
 	}
+	burst := t.n.burstScratch[:0]
 	for i := 0; i < t.n.cfg.N; i++ {
 		dst := mid.ProcID(i)
 		if dst == t.n.cfg.Self {
 			continue
 		}
-		t.ship(dst, frame)
+		act := t.n.cfg.Fault.Send(t.n.cfg.Self, dst)
+		if act.Faulty() {
+			t.shipAct(dst, frame, act)
+			continue
+		}
+		burst = append(burst, dst)
+	}
+	t.n.burstScratch = burst[:0]
+	if !t.n.mmsend.send(t.n, burst, frame) {
+		for _, dst := range burst {
+			t.write(dst, frame)
+		}
 	}
 	wire.PutBuf(frame)
 }

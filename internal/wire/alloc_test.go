@@ -30,6 +30,10 @@ func allocCases() map[string]PDU {
 			{ID: mid.MID{Proc: 0, Seq: 1}, Payload: make([]byte, 64)},
 			{ID: mid.MID{Proc: 0, Seq: 2}, Deps: mid.DepList{{Proc: 1, Seq: 1}}},
 		}},
+		"DataBatch": &DataBatch{Msgs: []causal.Message{
+			{ID: mid.MID{Proc: 3, Seq: 17}, Deps: mid.DepList{{Proc: 0, Seq: 4}}, Payload: make([]byte, 64)},
+			{ID: mid.MID{Proc: 3, Seq: 18}, Payload: make([]byte, 64)},
+		}},
 	}
 }
 
@@ -77,6 +81,7 @@ func TestUnmarshalAllocBudget(t *testing.T) {
 		"Decision":   3, // struct + u32 arena + byte arena
 		"Recover":    2, // struct + wants
 		"Retransmit": 7, // struct + msgs + 2*(msg struct + payload/deps)
+		"DataBatch":  6, // struct + msgs slice + 2*(deps + payload copy)
 	}
 	for name, p := range allocCases() {
 		buf, err := Marshal(p)

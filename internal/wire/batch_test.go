@@ -1,0 +1,189 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"urcgc/internal/causal"
+	"urcgc/internal/mid"
+)
+
+// mkBatch builds a DataBatch of n messages shaped like coalesced app
+// traffic: consecutive seqs from one sender, a dep on every other message,
+// and a small distinct payload.
+func mkBatch(n int) *DataBatch {
+	b := &DataBatch{Msgs: make([]causal.Message, n)}
+	for i := range b.Msgs {
+		b.Msgs[i] = causal.Message{
+			ID:      mid.MID{Proc: 2, Seq: mid.Seq(10 + i)},
+			Payload: []byte(fmt.Sprintf("m-%d", i)),
+		}
+		if i%2 == 1 {
+			b.Msgs[i].Deps = mid.DepList{{Proc: 0, Seq: mid.Seq(i)}, {Proc: 1, Seq: 3}}
+		}
+	}
+	return b
+}
+
+func depsEqual(a, b mid.DepList) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDataBatchRoundTrip drives empty, single-message, and multi-message
+// batches through Marshal/Unmarshal and checks canonical encoding plus
+// EncodedSize accounting at each size.
+func TestDataBatchRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 64} {
+		in := mkBatch(n)
+		buf, err := Marshal(in)
+		if err != nil {
+			t.Fatalf("n=%d: marshal: %v", n, err)
+		}
+		if len(buf) != in.EncodedSize() {
+			t.Fatalf("n=%d: wire length %d != EncodedSize %d", n, len(buf), in.EncodedSize())
+		}
+		p, err := Unmarshal(buf)
+		if err != nil {
+			t.Fatalf("n=%d: unmarshal: %v", n, err)
+		}
+		out, ok := p.(*DataBatch)
+		if !ok {
+			t.Fatalf("n=%d: decoded %T, want *DataBatch", n, p)
+		}
+		if len(out.Msgs) != n {
+			t.Fatalf("n=%d: decoded %d messages", n, len(out.Msgs))
+		}
+		for i := range out.Msgs {
+			got, want := &out.Msgs[i], &in.Msgs[i]
+			if got.ID != want.ID || !depsEqual(got.Deps, want.Deps) || !bytes.Equal(got.Payload, want.Payload) {
+				t.Fatalf("n=%d: msg %d decoded %+v, want %+v", n, i, got, want)
+			}
+		}
+		re, err := Marshal(out)
+		if err != nil {
+			t.Fatalf("n=%d: re-marshal: %v", n, err)
+		}
+		if !bytes.Equal(re, buf) {
+			t.Fatalf("n=%d: non-canonical round trip", n)
+		}
+	}
+}
+
+// TestDataBatchMaxFit round-trips a batch of exactly MaxBatch messages —
+// the largest count the u16 prefix can carry.
+func TestDataBatchMaxFit(t *testing.T) {
+	in := &DataBatch{Msgs: make([]causal.Message, MaxBatch)}
+	for i := range in.Msgs {
+		in.Msgs[i].ID = mid.MID{Proc: 1, Seq: mid.Seq(i + 1)}
+	}
+	buf, err := Marshal(in)
+	if err != nil {
+		t.Fatalf("marshal MaxBatch: %v", err)
+	}
+	p, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatalf("unmarshal MaxBatch: %v", err)
+	}
+	out := p.(*DataBatch)
+	if len(out.Msgs) != MaxBatch {
+		t.Fatalf("decoded %d messages, want %d", len(out.Msgs), MaxBatch)
+	}
+	if out.Msgs[MaxBatch-1].ID != in.Msgs[MaxBatch-1].ID {
+		t.Fatalf("last message decoded %v, want %v", out.Msgs[MaxBatch-1].ID, in.Msgs[MaxBatch-1].ID)
+	}
+}
+
+// TestDataBatchTruncation feeds every strict prefix of a marshaled batch to
+// the decoder: each must fail cleanly — truncation at every field boundary
+// (and mid-field) is covered because every prefix length appears.
+func TestDataBatchTruncation(t *testing.T) {
+	buf, err := Marshal(mkBatch(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(buf); i++ {
+		if _, err := Unmarshal(buf[:i]); err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded without error", i, len(buf))
+		}
+	}
+}
+
+// TestDataBatchForgedCount hands the decoder a header claiming the maximum
+// message count over an empty body: it must reject with ErrTruncated before
+// sizing any allocation by the forged count.
+func TestDataBatchForgedCount(t *testing.T) {
+	forged := []byte{byte(KindDataBatch), 0xFF, 0xFF}
+	if _, err := Unmarshal(forged); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("forged count decoded with err=%v, want ErrTruncated", err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		Unmarshal(forged)
+	})
+	if allocs > 3 {
+		t.Fatalf("forged-count rejection allocates %.1f/op; the claimed count is sizing allocations", allocs)
+	}
+}
+
+// TestMarshalLimits pins the 16-bit length-prefix boundaries: exactly the
+// maximum encodes and round-trips, one past it fails with ErrTooLarge
+// instead of silently wrapping the length through uint16 (the bug this
+// release fixes).
+func TestMarshalLimits(t *testing.T) {
+	atMax := &Data{Msg: causal.Message{
+		ID:      mid.MID{Proc: 0, Seq: 1},
+		Payload: make([]byte, MaxPayload),
+	}}
+	buf, err := Marshal(atMax)
+	if err != nil {
+		t.Fatalf("payload of MaxPayload bytes must marshal: %v", err)
+	}
+	p, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatalf("payload of MaxPayload bytes must round-trip: %v", err)
+	}
+	if got := len(p.(*Data).Msg.Payload); got != MaxPayload {
+		t.Fatalf("round-tripped payload of %d bytes, want %d", got, MaxPayload)
+	}
+
+	oversized := []struct {
+		name string
+		pdu  PDU
+	}{
+		{"payload", &Data{Msg: causal.Message{Payload: make([]byte, MaxPayload+1)}}},
+		{"deps", &Data{Msg: causal.Message{Deps: make(mid.DepList, MaxDeps+1)}}},
+		{"batch count", &DataBatch{Msgs: make([]causal.Message, MaxBatch+1)}},
+		{"batch member payload", &DataBatch{Msgs: []causal.Message{
+			{Payload: make([]byte, MaxPayload+1)},
+		}}},
+		{"retransmit count", &Retransmit{Msgs: func() []*causal.Message {
+			ms := make([]*causal.Message, MaxBatch+1)
+			for i := range ms {
+				ms[i] = &causal.Message{}
+			}
+			return ms
+		}()}},
+		{"recover ranges", &Recover{Wants: make([]WantRange, MaxWants+1)}},
+		{"request vectors", &Request{
+			LastProcessed: mid.NewSeqVector(MaxVector + 1),
+			Waiting:       mid.NewSeqVector(MaxVector + 1),
+		}},
+	}
+	for _, tc := range oversized {
+		if _, err := Marshal(tc.pdu); !errors.Is(err, ErrTooLarge) {
+			t.Errorf("%s one past the limit: err=%v, want ErrTooLarge", tc.name, err)
+		}
+		if _, err := MarshalAppend(nil, tc.pdu); !errors.Is(err, ErrTooLarge) {
+			t.Errorf("%s one past the limit via MarshalAppend: err=%v, want ErrTooLarge", tc.name, err)
+		}
+	}
+}

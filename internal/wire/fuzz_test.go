@@ -29,6 +29,10 @@ func FuzzUnmarshal(f *testing.F) {
 		&Retransmit{Responder: 1, Msgs: []*causal.Message{
 			{ID: mid.MID{Proc: 0, Seq: 1}, Payload: []byte("a")},
 		}},
+		&DataBatch{Msgs: []causal.Message{
+			{ID: mid.MID{Proc: 1, Seq: 5}, Deps: mid.DepList{{Proc: 2, Seq: 3}}, Payload: []byte("b0")},
+			{ID: mid.MID{Proc: 1, Seq: 6}, Payload: []byte("b1")},
+		}},
 	}
 	for _, p := range seed {
 		buf, err := Marshal(p)

@@ -35,12 +35,27 @@ func MarshalAppend(dst []byte, p PDU) ([]byte, error) {
 	w.u8(uint8(p.Kind()))
 	switch v := p.(type) {
 	case *Data:
-		marshalMsgBody(w, &v.Msg)
+		if err := marshalMsgBody(w, &v.Msg); err != nil {
+			return dst, err
+		}
+	case *DataBatch:
+		if len(v.Msgs) > MaxBatch {
+			return dst, fmt.Errorf("wire: batch of %d messages: %w", len(v.Msgs), ErrTooLarge)
+		}
+		w.u16(uint16(len(v.Msgs)))
+		for i := range v.Msgs {
+			if err := marshalMsgBody(w, &v.Msgs[i]); err != nil {
+				return dst, err
+			}
+		}
 	case *Request:
 		w.i32(int32(v.Sender))
 		w.i64(v.Subrun)
 		if len(v.LastProcessed) != len(v.Waiting) {
 			return dst, fmt.Errorf("wire: request vectors disagree on n (%d vs %d)", len(v.LastProcessed), len(v.Waiting))
+		}
+		if len(v.LastProcessed) > MaxVector {
+			return dst, fmt.Errorf("wire: request vectors of %d entries: %w", len(v.LastProcessed), ErrTooLarge)
 		}
 		w.u16(uint16(len(v.LastProcessed)))
 		w.seqVec(v.LastProcessed)
@@ -58,6 +73,9 @@ func MarshalAppend(dst []byte, p PDU) ([]byte, error) {
 			return dst, err
 		}
 	case *Recover:
+		if len(v.Wants) > MaxWants {
+			return dst, fmt.Errorf("wire: recover of %d ranges: %w", len(v.Wants), ErrTooLarge)
+		}
 		w.i32(int32(v.Requester))
 		w.u16(uint16(len(v.Wants)))
 		for _, want := range v.Wants {
@@ -66,10 +84,15 @@ func MarshalAppend(dst []byte, p PDU) ([]byte, error) {
 			w.u32(uint32(want.To))
 		}
 	case *Retransmit:
+		if len(v.Msgs) > MaxBatch {
+			return dst, fmt.Errorf("wire: retransmit of %d messages: %w", len(v.Msgs), ErrTooLarge)
+		}
 		w.i32(int32(v.Responder))
 		w.u16(uint16(len(v.Msgs)))
 		for _, m := range v.Msgs {
-			marshalMsgBody(w, m)
+			if err := marshalMsgBody(w, m); err != nil {
+				return dst, err
+			}
 		}
 	default:
 		return dst, fmt.Errorf("wire: unknown PDU type %T", p)
@@ -109,6 +132,27 @@ func Unmarshal(buf []byte) (PDU, error) {
 			return nil, err
 		}
 		p = d
+	case KindDataBatch:
+		b := &DataBatch{}
+		cnt, err := r.u16()
+		if err != nil {
+			return nil, err
+		}
+		// Every message body is at least 12 bytes (mid + two zero counts);
+		// reject a forged count before it sizes an allocation.
+		if len(r.buf)-r.off < 12*int(cnt) {
+			return nil, ErrTruncated
+		}
+		// One arena for all message headers: decoded messages are handed
+		// to the protocol individually (&Msgs[i]), but share the batch's
+		// single slice allocation.
+		b.Msgs = make([]causal.Message, cnt)
+		for i := range b.Msgs {
+			if err := unmarshalMsgBody(r, &b.Msgs[i]); err != nil {
+				return nil, err
+			}
+		}
+		p = b
 	case KindRequest:
 		req := &Request{}
 		if req.Sender, err = r.procID(); err != nil {
@@ -207,7 +251,15 @@ func Unmarshal(buf []byte) (PDU, error) {
 	return p, nil
 }
 
-func marshalMsgBody(w *writer, m *causal.Message) {
+func marshalMsgBody(w *writer, m *causal.Message) error {
+	// Both counts ride 16-bit prefixes; without these checks a 65536-byte
+	// payload would encode length 0 and corrupt the frame silently.
+	if len(m.Deps) > MaxDeps {
+		return fmt.Errorf("wire: message %v with %d deps: %w", m.ID, len(m.Deps), ErrTooLarge)
+	}
+	if len(m.Payload) > MaxPayload {
+		return fmt.Errorf("wire: message %v payload of %d bytes: %w", m.ID, len(m.Payload), ErrTooLarge)
+	}
 	w.i32(int32(m.ID.Proc))
 	w.u32(uint32(m.ID.Seq))
 	w.u16(uint16(len(m.Deps)))
@@ -217,6 +269,7 @@ func marshalMsgBody(w *writer, m *causal.Message) {
 	}
 	w.u16(uint16(len(m.Payload)))
 	w.bytes(m.Payload)
+	return nil
 }
 
 func unmarshalMsgBody(r *reader, m *causal.Message) error {

@@ -30,6 +30,7 @@ const (
 	KindDecision   Kind = 3 // coordinator broadcast
 	KindRecover    Kind = 4 // point-to-point recovery request
 	KindRetransmit Kind = 5 // recovery answer carrying history messages
+	KindDataBatch  Kind = 6 // several user messages in one frame
 
 	// CBCAST baseline (internal/cbcast).
 	KindCBData     Kind = 10 // vector-stamped causal broadcast
@@ -51,7 +52,7 @@ const (
 // protocol control traffic). Load accounting uses this to split Table 1's
 // control columns from data traffic.
 func (k Kind) IsData() bool {
-	return k == KindData || k == KindCBData || k == KindPsData
+	return k == KindData || k == KindDataBatch || k == KindCBData || k == KindPsData
 }
 
 // String implements fmt.Stringer.
@@ -67,6 +68,8 @@ func (k Kind) String() string {
 		return "RECOVER"
 	case KindRetransmit:
 		return "RETRANSMIT"
+	case KindDataBatch:
+		return "DATA-BATCH"
 	case KindCBData:
 		return "CB-DATA"
 	case KindCBAck:
@@ -105,6 +108,31 @@ type PDU interface {
 // ErrTruncated is returned by Unmarshal when the buffer ends early.
 var ErrTruncated = errors.New("wire: truncated PDU")
 
+// ErrTooLarge is returned by the Marshal paths when a variable-length field
+// exceeds its 16-bit wire length prefix. Before this check existed a
+// 65536-byte payload encoded a length of 0 — a silently corrupt frame that
+// decoded as garbage on every peer. Errors wrap ErrTooLarge, so callers
+// test with errors.Is.
+var ErrTooLarge = errors.New("wire: field exceeds 16-bit wire limit")
+
+// Wire limits: every variable-length field is prefixed by a 16-bit count,
+// so these are hard protocol bounds, not tunables. Anything that could
+// exceed them must be rejected (Submit, Marshal) or split (the batcher)
+// before it reaches the encoder.
+const (
+	// MaxPayload bounds one message's payload bytes.
+	MaxPayload = 1<<16 - 1
+	// MaxDeps bounds one message's explicit dependency labels.
+	MaxDeps = 1<<16 - 1
+	// MaxBatch bounds the messages in one DataBatch or Retransmit.
+	MaxBatch = 1<<16 - 1
+	// MaxVector bounds the group cardinality carried in Request/Decision
+	// vectors.
+	MaxVector = 1<<16 - 1
+	// MaxWants bounds the ranges in one Recover.
+	MaxWants = 1<<16 - 1
+)
+
 // Data carries one user message.
 type Data struct {
 	Msg causal.Message
@@ -117,6 +145,31 @@ func (*Data) Kind() Kind { return KindData }
 func (d *Data) EncodedSize() int {
 	// kind(1) + mid(8) + depCount(2) + deps(8 each) + payloadLen(2) + payload
 	return 1 + 8 + 2 + 8*len(d.Msg.Deps) + 2 + len(d.Msg.Payload)
+}
+
+// DataBatch carries several user messages in one frame — the wire-layer
+// half of batching: one datagram, one syscall, one inbox event for N
+// messages, amortizing the per-PDU costs exactly as the paper's subrun
+// model amortizes control traffic (Table 1 splits per-message data cost
+// from per-subrun control cost). Messages appear in generation order;
+// receivers ingest them in order, so intra-batch causality (each message
+// implicitly depending on its sender's previous) is preserved.
+type DataBatch struct {
+	Msgs []causal.Message
+}
+
+// Kind implements PDU.
+func (*DataBatch) Kind() Kind { return KindDataBatch }
+
+// EncodedSize implements PDU.
+func (b *DataBatch) EncodedSize() int {
+	// kind(1) + count(2) + embedded data messages (without kind bytes).
+	s := 1 + 2
+	for i := range b.Msgs {
+		m := &b.Msgs[i]
+		s += 8 + 2 + 8*len(m.Deps) + 2 + len(m.Payload)
+	}
+	return s
 }
 
 // Request is the per-subrun report a process sends to the current
