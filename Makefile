@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench bench-smoke bench-throughput chaos-smoke chaos-soak inspect-smoke clean
+.PHONY: all build test race vet check bench bench-smoke bench-throughput bench-groups chaos-smoke chaos-soak inspect-smoke clean
 
 all: check
 
@@ -15,11 +15,12 @@ vet:
 
 # race runs the concurrency-sensitive packages under the race detector:
 # the real-time runtime (node loop, UDP reader, Status/Snapshot sampling),
-# the protocol core it drives, the flight recorder and health evaluator
-# (sampler goroutine vs concurrent readers), and the cluster inspector
-# (parallel probes against live nodes).
+# the sharded multi-group runtime (shared-socket demux, shard loops, the
+# shared burst sender), the protocol core they drive, the flight recorder
+# and health evaluator (sampler goroutine vs concurrent readers), and the
+# cluster inspector (parallel probes against live nodes).
 race:
-	$(GO) test -race ./internal/rt/... ./internal/core/... ./internal/obs/... ./internal/health/... ./internal/inspect/...
+	$(GO) test -race ./internal/rt/... ./internal/topics/... ./internal/core/... ./internal/obs/... ./internal/health/... ./internal/inspect/...
 
 # check is the tier-1 gate: everything builds, vets clean, passes the
 # full suite, the concurrency-sensitive packages pass under -race, every
@@ -27,7 +28,7 @@ race:
 # upholds the uniform invariants under the race detector, and a live
 # three-member cluster inspects healthy end to end through the real
 # binaries.
-check: vet test race bench-smoke bench-throughput chaos-smoke inspect-smoke
+check: vet test race bench-smoke bench-throughput bench-groups chaos-smoke inspect-smoke
 
 # inspect-smoke boots three urcgc-node processes, points urcgc-inspect at
 # their observability endpoints, and requires a healthy one-shot verdict —
@@ -69,6 +70,14 @@ bench-smoke:
 # `make bench` into BENCH_BASELINE.json.
 bench-throughput:
 	$(GO) test -bench 'BenchmarkThroughputSaturation' -benchtime 500ms -run '^$$' .
+
+# bench-groups is the sharded multi-group smoke: two groups over two shard
+# loops must sustain at least 1.5x the single-group aggregate msgs/s, or
+# the runtime has regressed into serializing its groups. Full-length
+# scaling points (1/2/4/8 groups) are recorded by `make bench` into
+# BENCH_BASELINE.json under the GroupScaling family.
+bench-groups:
+	URCGC_BENCH_GROUPS=1 $(GO) test -run TestGroupScalingSmoke -count 1 -v .
 
 clean:
 	$(GO) clean ./...

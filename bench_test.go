@@ -65,6 +65,14 @@ func BenchmarkThroughputSaturationN5B8(b *testing.B)  { benchsuite.ThroughputSat
 func BenchmarkThroughputSaturationN5B32(b *testing.B) { benchsuite.ThroughputSaturationN5B32(b) }
 func BenchmarkThroughputSaturationN9B32(b *testing.B) { benchsuite.ThroughputSaturationN9B32(b) }
 
+// ---- Group scaling: aggregate msgs/sec x groups x shards ----
+
+func BenchmarkGroupScalingG1S1(b *testing.B) { benchsuite.GroupScalingG1S1(b) }
+func BenchmarkGroupScalingG2S2(b *testing.B) { benchsuite.GroupScalingG2S2(b) }
+func BenchmarkGroupScalingG4S4(b *testing.B) { benchsuite.GroupScalingG4S4(b) }
+func BenchmarkGroupScalingG8S8(b *testing.B) { benchsuite.GroupScalingG8S8(b) }
+func BenchmarkGroupScalingG8S1(b *testing.B) { benchsuite.GroupScalingG8S1(b) }
+
 // ---- Ablations ----
 
 // BenchmarkAblationTransportH quantifies the Section 5 trade: moving loss

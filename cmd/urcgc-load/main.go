@@ -1,0 +1,255 @@
+// Command urcgc-load drives a sharded multi-group cluster to saturation and
+// reports what it sustained. It hosts the cluster itself — either over real
+// loopback UDP sockets (the default, exercising the shared-socket demux and
+// sendmmsg burst path) or over the in-process mesh (-mesh, protocol-only) —
+// then fans thousands of concurrent client sessions across the groups. Each
+// session loops: pick its group, Send, wait for the local confirm, record
+// the latency. On exit it prints aggregate confirmed msgs/s plus the
+// p50/p95/p99 confirm-latency quantiles.
+//
+//	urcgc-load -n 3 -groups 8 -shards 8 -sessions 2000 -duration 10s
+//
+// The tool is the load half of the observability story: point urcgc-inspect
+// or curl at the -metrics listener of any member while it runs to watch the
+// per-group counters move.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"urcgc/internal/core"
+	"urcgc/internal/mid"
+	"urcgc/internal/nodehttp"
+	"urcgc/internal/obs"
+	"urcgc/internal/rt"
+	"urcgc/internal/topics"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 3, "members in the cluster")
+		groups   = flag.Int("groups", 8, "independent groups multiplexed over the shared transport")
+		shards   = flag.Int("shards", 0, "protocol shard loops per member (0 = min(groups, GOMAXPROCS))")
+		sessions = flag.Int("sessions", 1000, "concurrent client sessions fanned across groups and members")
+		duration = flag.Duration("duration", 10*time.Second, "how long to drive load")
+		k        = flag.Int("k", 3, "K parameter")
+		round    = flag.Duration("round", 2*time.Millisecond, "round duration")
+		batchWin = flag.Duration("batch-window", 500*time.Microsecond, "submission coalescing window (0 disables batching)")
+		payload  = flag.Int("payload", 64, "bytes per message")
+		mesh     = flag.Bool("mesh", false, "use the in-process mesh instead of loopback UDP sockets")
+		metrics  = flag.String("metrics", "", "HTTP address serving member 0's /metrics and /status while loading (empty disables)")
+		verbose  = flag.Bool("v", false, "log per-member runtime warnings")
+	)
+	flag.Parse()
+
+	if *sessions < 1 || *groups < 1 || *n < 3 {
+		fmt.Fprintln(os.Stderr, "urcgc-load: need -sessions >= 1, -groups >= 1, -n >= 3")
+		os.Exit(2)
+	}
+	logf := func(string, ...any) {}
+	if *verbose {
+		logf = log.Printf
+	}
+	cfg := topics.Config{
+		Config: core.Config{
+			N: *n, K: *k, R: 2**k + 2, SelfExclusion: true,
+			BatchMax: core.DefaultBatchMax,
+		},
+		Groups:        *groups,
+		Shards:        *shards,
+		RoundDuration: *round,
+		BatchWindow:   *batchWin,
+		Logf:          logf,
+	}
+
+	cluster, reg, err := startCluster(cfg, *mesh)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "urcgc-load:", err)
+		os.Exit(1)
+	}
+	defer cluster.stop()
+
+	if *metrics != "" && reg != nil {
+		mux := nodehttp.Mux(nodehttp.Options{Registry: reg, Status: cluster.status})
+		ln, err := nodehttp.Serve(*metrics, mux)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "urcgc-load: metrics:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("member 0 observability at http://%s/metrics\n", ln.Addr())
+	}
+
+	transport := "udp"
+	if *mesh {
+		transport = "mesh"
+	}
+	fmt.Printf("cluster up: n=%d groups=%d shards=%d transport=%s round=%v batch-window=%v\n",
+		*n, *groups, cluster.shards(), transport, *round, *batchWin)
+	fmt.Printf("driving %d sessions for %v...\n", *sessions, *duration)
+
+	ctx, cancel := context.WithTimeout(context.Background(), *duration)
+	defer cancel()
+
+	var (
+		confirmed atomic.Int64
+		failed    atomic.Int64
+		wg        sync.WaitGroup
+	)
+	body := make([]byte, *payload)
+	// Each session keeps its own latency slice; they are merged after the
+	// run so the hot loop never contends on a shared structure.
+	lats := make([][]time.Duration, *sessions)
+	start := time.Now()
+	for s := 0; s < *sessions; s++ {
+		s := s
+		g := uint32(s % *groups)
+		member := mid.ProcID(s % *n)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				t0 := time.Now()
+				_, err := cluster.send(ctx, member, g, body)
+				if err != nil {
+					if ctx.Err() == nil {
+						failed.Add(1)
+					}
+					continue
+				}
+				lats[s] = append(lats[s], time.Since(t0))
+				confirmed.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+
+	total := confirmed.Load()
+	fmt.Printf("\n--- urcgc-load results ---\n")
+	fmt.Printf("confirmed   %d msgs in %v\n", total, elapsed.Round(time.Millisecond))
+	fmt.Printf("aggregate   %.0f msgs/s across %d groups\n",
+		float64(total)/elapsed.Seconds(), *groups)
+	if f := failed.Load(); f > 0 {
+		fmt.Printf("failed      %d sends\n", f)
+	}
+	if len(all) > 0 {
+		fmt.Printf("confirm latency  p50 %v  p95 %v  p99 %v  max %v\n",
+			quantile(all, 0.50), quantile(all, 0.95), quantile(all, 0.99), all[len(all)-1])
+	}
+	counts := cluster.groupCounts()
+	fmt.Printf("per-group processed at member 0:")
+	for g, c := range counts {
+		fmt.Printf(" g%d=%d", g, c)
+	}
+	fmt.Println()
+}
+
+// quantile reads the q-th quantile from an ascending-sorted sample.
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i].Round(10 * time.Microsecond)
+}
+
+// loadCluster abstracts the two hosting modes behind the few operations the
+// driver needs.
+type loadCluster struct {
+	send        func(ctx context.Context, member mid.ProcID, g uint32, payload []byte) (mid.MID, error)
+	status      func(ctx context.Context) (rt.Status, error)
+	groupCounts func() []int64
+	shards      func() int
+	stop        func()
+}
+
+func startCluster(cfg topics.Config, mesh bool) (*loadCluster, *obs.Registry, error) {
+	if mesh {
+		c, err := topics.NewMultiCluster(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		c.Start()
+		return &loadCluster{
+			send: func(ctx context.Context, member mid.ProcID, g uint32, payload []byte) (mid.MID, error) {
+				return c.Node(member).Send(ctx, g, payload, nil)
+			},
+			status:      func(ctx context.Context) (rt.Status, error) { return c.Node(0).Status(ctx) },
+			groupCounts: func() []int64 { return c.Node(0).GroupCounts() },
+			shards:      func() int { return c.Node(0).Shards() },
+			stop:        c.Stop,
+		}, nil, nil
+	}
+
+	peers, err := loopbackPorts(cfg.N)
+	if err != nil {
+		return nil, nil, err
+	}
+	nodes := make([]*topics.MultiNode, cfg.N)
+	var reg *obs.Registry
+	for i := range nodes {
+		nc := cfg
+		nc.Self = mid.ProcID(i)
+		nc.Peers = peers
+		if i == 0 {
+			reg = obs.New()
+			nc.Metrics = reg
+		}
+		nodes[i], err = topics.NewMultiNode(nc)
+		if err != nil {
+			for _, n := range nodes[:i] {
+				n.Stop()
+			}
+			return nil, nil, err
+		}
+	}
+	for _, n := range nodes {
+		n.Start()
+	}
+	return &loadCluster{
+		send: func(ctx context.Context, member mid.ProcID, g uint32, payload []byte) (mid.MID, error) {
+			return nodes[member].Send(ctx, g, payload, nil)
+		},
+		status:      func(ctx context.Context) (rt.Status, error) { return nodes[0].Status(ctx) },
+		groupCounts: func() []int64 { return nodes[0].GroupCounts() },
+		shards:      func() int { return nodes[0].Shards() },
+		stop: func() {
+			for _, n := range nodes {
+				n.Stop()
+			}
+		},
+	}, reg, nil
+}
+
+// loopbackPorts reserves n distinct loopback UDP ports by binding and
+// immediately releasing them; the cluster then binds the same addresses.
+// The window between release and rebind is small and this is a load tool,
+// not a production deployment.
+func loopbackPorts(n int) ([]string, error) {
+	addrs := make([]string, n)
+	conns := make([]*net.UDPConn, n)
+	for i := 0; i < n; i++ {
+		c, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			return nil, err
+		}
+		conns[i] = c
+		addrs[i] = c.LocalAddr().String()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	return addrs, nil
+}

@@ -10,6 +10,13 @@
 // this member — its own and its peers', in causal order — are printed.
 // With -chatter the node also generates synthetic traffic by itself.
 //
+// With -groups G (and optionally -shards S) the member hosts G independent
+// groups over the same socket via the sharded multi-group runtime: stdin
+// lines go to group 0 unless prefixed "<g>:", chatter rotates across
+// groups, printed messages carry a [gN] tag, and the shutdown summary and
+// /status include the per-group processed counts. Group 0's frames stay
+// wire-compatible with single-group members.
+//
 // The node is observable while it runs: -metrics (default 127.0.0.1:0)
 // binds an HTTP listener serving
 //
@@ -36,6 +43,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"os/signal"
 	"strconv"
@@ -50,17 +58,34 @@ import (
 	"urcgc/internal/nodehttp"
 	"urcgc/internal/obs"
 	"urcgc/internal/rt"
+	"urcgc/internal/topics"
 )
+
+// member abstracts the single-group rt.UDPNode and the multi-group
+// topics.MultiNode behind the handful of operations main drives.
+type member struct {
+	start       func()
+	stop        func()
+	localAddr   func() *net.UDPAddr
+	status      func(ctx context.Context) (rt.Status, error)
+	send        func(ctx context.Context, group uint32, payload []byte) (mid.MID, error)
+	indications <-chan topics.Indication
+	left        func(group uint32) (core.LeaveReason, bool)
+	lifecycle   func() *lifecycle.Tracer // nil tracer when tracing is off
+	groupCounts func() []int64           // nil for single-group members
+}
 
 func main() {
 	var (
 		self      = flag.Int("self", 0, "this member's identity (index into -peers)")
 		peers     = flag.String("peers", "", "comma-separated member addresses, index = identity")
 		k         = flag.Int("k", 3, "K parameter")
+		groups    = flag.Int("groups", 1, "independent groups hosted over this member's socket")
+		shards    = flag.Int("shards", 0, "protocol shard loops when -groups > 1 (0 = min(groups, GOMAXPROCS))")
 		round     = flag.Duration("round", 20*time.Millisecond, "round duration")
 		chatter   = flag.Duration("chatter", 0, "generate a synthetic message this often (0 = stdin only)")
 		metrics   = flag.String("metrics", "127.0.0.1:0", "HTTP address for /metrics, /status, /healthz, /timeseries, /events, /trace and /debug/* (empty disables)")
-		traceSlow = flag.Duration("trace-slow", time.Second, "flag a message stuck waiting longer than this on /trace (0 disables lifecycle tracing)")
+		traceSlow = flag.Duration("trace-slow", time.Second, "flag a message stuck waiting longer than this on /trace (0 disables lifecycle tracing; single-group only)")
 		sample    = flag.Duration("sample", time.Second, "flight-recorder sampling interval for /timeseries and /healthz (0 disables)")
 		window    = flag.Int("window", 512, "flight-recorder ring length: samples of history retained")
 		batchWin  = flag.Duration("batch-window", 0, "coalesce submissions arriving within this window into one DataBatch broadcast (0 disables batching)")
@@ -76,30 +101,36 @@ func main() {
 	for i := range addrs {
 		addrs[i] = strings.TrimSpace(addrs[i])
 	}
-	reg := obs.New()
-	var lcOpts *lifecycle.Options
-	if *traceSlow > 0 {
-		lcOpts = &lifecycle.Options{SlowThreshold: *traceSlow}
+	if *groups < 1 {
+		fmt.Fprintln(os.Stderr, "urcgc-node: -groups must be at least 1")
+		os.Exit(2)
 	}
-	node, err := rt.NewUDPNode(rt.UDPConfig{
-		Config: core.Config{
-			N: len(addrs), K: *k, R: 2**k + 2, SelfExclusion: true,
-			BatchMax: *batchMax,
-		},
-		Self:          mid.ProcID(*self),
-		Peers:         addrs,
-		RoundDuration: *round,
-		BatchWindow:   *batchWin,
-		Metrics:       reg,
-		Lifecycle:     lcOpts,
-		Logf:          log.Printf,
-	})
+	reg := obs.New()
+	cfg := core.Config{
+		N: len(addrs), K: *k, R: 2**k + 2, SelfExclusion: true,
+		BatchMax: *batchMax,
+	}
+
+	var (
+		node *member
+		err  error
+	)
+	if *groups > 1 {
+		node, err = newMultiMember(cfg, addrs, *self, *groups, *shards, *round, *batchWin, reg)
+	} else {
+		node, err = newSingleMember(cfg, addrs, *self, *round, *batchWin, *traceSlow, reg)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "urcgc-node:", err)
 		os.Exit(1)
 	}
-	node.Start()
-	fmt.Printf("member %d of %d up at %s (round %v)\n", *self, len(addrs), node.LocalAddr(), *round)
+	node.start()
+	if *groups > 1 {
+		fmt.Printf("member %d of %d up at %s (round %v, %d groups over %d shards)\n",
+			*self, len(addrs), node.localAddr(), *round, *groups, *shards)
+	} else {
+		fmt.Printf("member %d of %d up at %s (round %v)\n", *self, len(addrs), node.localAddr(), *round)
+	}
 
 	var flight *obs.Flight
 	if *metrics != "" {
@@ -114,14 +145,14 @@ func main() {
 			Registry:  reg,
 			Flight:    flight,
 			Health:    evaluator,
-			Status:    node.Status,
-			Lifecycle: node.Lifecycle,
+			Status:    node.status,
+			Lifecycle: node.lifecycle,
 			Pprof:     true,
 		})
 		ln, err := nodehttp.Serve(*metrics, mux)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "urcgc-node: metrics:", err)
-			node.Stop()
+			node.stop()
 			os.Exit(1)
 		}
 		fmt.Printf("observability at http://%s/metrics (also /status, /healthz, /timeseries, /events, /trace, /debug/vars, /debug/pprof)\n", ln.Addr())
@@ -135,7 +166,13 @@ func main() {
 		}
 		fmt.Printf("\n--- %s: shutdown summary (member %d) ---\n", why, *self)
 		reg.WriteSummary(os.Stdout)
-		if tr := node.Lifecycle(); tr != nil {
+		if node.groupCounts != nil {
+			fmt.Printf("--- per-group processed (%d groups) ---\n", *groups)
+			for g, c := range node.groupCounts() {
+				fmt.Printf("group %-4d %d\n", g, c)
+			}
+		}
+		if tr := node.lifecycle(); tr != nil {
 			if c := tr.Counts(); c.Completed > 0 {
 				fmt.Printf("--- slowest completed message spans (of %d) ---\n", c.Completed)
 				tr.WriteSlowest(os.Stdout, 5)
@@ -146,7 +183,7 @@ func main() {
 				len(evs), reg.Events().Total(), reg.Events().Dropped())
 			reg.Events().Write(os.Stdout)
 		}
-		node.Stop()
+		node.stop()
 	}
 
 	sigCh := make(chan os.Signal, 1)
@@ -154,9 +191,13 @@ func main() {
 	leftCh := make(chan core.LeaveReason, 1)
 
 	go func() {
-		for ind := range node.Indications() {
-			fmt.Printf("[%v] %s\n", ind.Msg.ID, ind.Msg.Payload)
-			if reason, left := node.Left(); left {
+		for ind := range node.indications {
+			if *groups > 1 {
+				fmt.Printf("[g%d %v] %s\n", ind.Group, ind.Msg.ID, ind.Msg.Payload)
+			} else {
+				fmt.Printf("[%v] %s\n", ind.Msg.ID, ind.Msg.Payload)
+			}
+			if reason, left := node.left(ind.Group); left {
 				select {
 				case leftCh <- reason:
 				default:
@@ -171,8 +212,9 @@ func main() {
 			seq := 0
 			for range time.Tick(*chatter) {
 				seq++
+				g := uint32(seq % *groups)
 				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-				_, err := node.Send(ctx, []byte(fmt.Sprintf("chatter %d from %d", seq, *self)), nil)
+				_, err := node.send(ctx, g, []byte(fmt.Sprintf("chatter %d from %d", seq, *self)))
 				cancel()
 				if err != nil {
 					fmt.Fprintln(os.Stderr, "chatter:", err)
@@ -191,14 +233,19 @@ func main() {
 			if line == "" {
 				continue
 			}
+			g, text := splitGroup(line, *groups)
 			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-			id, err := node.Send(ctx, []byte(line), nil)
+			id, err := node.send(ctx, g, []byte(text))
 			cancel()
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "send:", err)
 				continue
 			}
-			fmt.Printf("confirmed %v\n", id)
+			if *groups > 1 {
+				fmt.Printf("confirmed %v on group %d\n", id, g)
+			} else {
+				fmt.Printf("confirmed %v\n", id)
+			}
 		}
 	}()
 
@@ -222,4 +269,118 @@ func main() {
 		}
 		shutdown("stdin closed")
 	}
+}
+
+// splitGroup routes a stdin line: "<g>: text" goes to group g when g parses
+// as a hosted group index; everything else goes to group 0 verbatim.
+func splitGroup(line string, groups int) (uint32, string) {
+	if groups <= 1 {
+		return 0, line
+	}
+	head, rest, ok := strings.Cut(line, ":")
+	if !ok {
+		return 0, line
+	}
+	g, err := strconv.Atoi(strings.TrimSpace(head))
+	if err != nil || g < 0 || g >= groups {
+		return 0, line
+	}
+	return uint32(g), strings.TrimSpace(rest)
+}
+
+func newSingleMember(cfg core.Config, addrs []string, self int,
+	round, batchWin, traceSlow time.Duration, reg *obs.Registry) (*member, error) {
+	var lcOpts *lifecycle.Options
+	if traceSlow > 0 {
+		lcOpts = &lifecycle.Options{SlowThreshold: traceSlow}
+	}
+	n, err := rt.NewUDPNode(rt.UDPConfig{
+		Config:        cfg,
+		Self:          mid.ProcID(self),
+		Peers:         addrs,
+		RoundDuration: round,
+		BatchWindow:   batchWin,
+		Metrics:       reg,
+		Lifecycle:     lcOpts,
+		Logf:          log.Printf,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Re-tag the untagged single-group indications as group 0 so the main
+	// loop handles one channel shape.
+	ind := make(chan topics.Indication, 64)
+	go func() {
+		defer close(ind)
+		for i := range n.Indications() {
+			ind <- topics.Indication{Group: 0, Msg: i.Msg}
+		}
+	}()
+	return &member{
+		start:     n.Start,
+		stop:      n.Stop,
+		localAddr: n.LocalAddr,
+		status:    n.Status,
+		send: func(ctx context.Context, _ uint32, payload []byte) (mid.MID, error) {
+			return n.Send(ctx, payload, nil)
+		},
+		indications: ind,
+		left:        func(uint32) (core.LeaveReason, bool) { return n.Left() },
+		lifecycle:   n.Lifecycle,
+	}, nil
+}
+
+func newMultiMember(cfg core.Config, addrs []string, self, groups, shards int,
+	round, batchWin time.Duration, reg *obs.Registry) (*member, error) {
+	n, err := topics.NewMultiNode(topics.Config{
+		Config:        cfg,
+		Groups:        groups,
+		Shards:        shards,
+		Self:          mid.ProcID(self),
+		Peers:         addrs,
+		RoundDuration: round,
+		BatchWindow:   batchWin,
+		Metrics:       reg,
+		Logf:          log.Printf,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Merge every group's indication stream into one tagged channel.
+	ind := make(chan topics.Indication, 64)
+	done := make(chan struct{}, groups)
+	for g := 0; g < groups; g++ {
+		ch, err := n.Indications(uint32(g))
+		if err != nil {
+			return nil, err
+		}
+		go func() {
+			for i := range ch {
+				ind <- i
+			}
+			done <- struct{}{}
+		}()
+	}
+	go func() {
+		for i := 0; i < groups; i++ {
+			<-done
+		}
+		close(ind)
+	}()
+	return &member{
+		start:     n.Start,
+		stop:      n.Stop,
+		localAddr: n.LocalAddr,
+		status:    n.Status,
+		send: func(ctx context.Context, g uint32, payload []byte) (mid.MID, error) {
+			return n.Send(ctx, g, payload, nil)
+		},
+		indications: ind,
+		left: func(g uint32) (core.LeaveReason, bool) {
+			reason, ok := n.Left(g)
+			return reason, ok
+		},
+		lifecycle:   func() *lifecycle.Tracer { return nil },
+		groupCounts: n.GroupCounts,
+	}, nil
 }

@@ -62,6 +62,11 @@ func Baseline() []Case {
 		{"ThroughputSaturationN5B8", ThroughputSaturationN5B8},
 		{"ThroughputSaturationN5B32", ThroughputSaturationN5B32},
 		{"ThroughputSaturationN9B32", ThroughputSaturationN9B32},
+		{"GroupScalingG1S1", GroupScalingG1S1},
+		{"GroupScalingG2S2", GroupScalingG2S2},
+		{"GroupScalingG4S4", GroupScalingG4S4},
+		{"GroupScalingG8S8", GroupScalingG8S8},
+		{"GroupScalingG8S1", GroupScalingG8S1},
 	}
 }
 

@@ -131,6 +131,9 @@ func WriteStatusText(w http.ResponseWriter, st rt.Status) {
 	fmt.Fprintf(w, "waiting    %d\n", st.WaitingLen)
 	fmt.Fprintf(w, "pending    %d\n", st.Pending)
 	fmt.Fprintf(w, "stats      %+v\n", st.Stats)
+	if len(st.GroupProcessed) > 0 {
+		fmt.Fprintf(w, "groups     %d processed %v\n", len(st.GroupProcessed), st.GroupProcessed)
+	}
 }
 
 // Serve binds addr and serves the handler in the background, returning

@@ -1,6 +1,7 @@
 package rt
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
@@ -8,79 +9,95 @@ import (
 	"urcgc/internal/mid"
 )
 
-// submission is one user Send waiting to enter the protocol through the
-// node goroutine.
-type submission struct {
-	payload []byte
-	deps    mid.DepList
-	causal  bool
-	res     chan subResult
-	confirm chan struct{}
+// Submission is one user Send waiting to enter the protocol through a node
+// loop goroutine. Exported so the multi-group runtime (internal/topics) can
+// reuse the coalescing sender; user code goes through Node.Send and friends,
+// never through this directly.
+type Submission struct {
+	Payload []byte
+	Deps    mid.DepList
+	Causal  bool
+	Res     chan SubResult  // receives the submit outcome (buffered, cap 1)
+	Confirm chan struct{}   // closed when the message is processed locally
 }
 
-type subResult struct {
-	id  mid.MID
-	err error
+// SubResult is the outcome of running one Submission inside the loop.
+type SubResult struct {
+	ID  mid.MID
+	Err error
 }
+
+// ErrCoalescerStopped answers submissions caught pending in the coalescer
+// when its runtime shuts down.
+var ErrCoalescerStopped = fmt.Errorf("rt: node stopped with submission unsent")
 
 // wireCost is the submission's encoded body size on the wire — mid(8) +
 // depCount(2) + deps(8 each) + payloadLen(2) + payload. SubmitCausal
 // labels are computed later inside the node goroutine, so for causal
 // sends this is a floor, which only makes the coalescer flush earlier.
-func (s *submission) wireCost() int {
-	return 12 + 8*len(s.deps) + len(s.payload)
+func (s *Submission) wireCost() int {
+	return 12 + 8*len(s.Deps) + len(s.Payload)
 }
 
-// coalescer batches user submissions: Sends arriving within BatchWindow
+// Coalescer batches user submissions: Sends arriving within BatchWindow
 // (or until the count/byte budget fills first) are handed to the node
 // goroutine as ONE inbox event, so the protocol's outbox drains them as
 // DataBatch frames in the next subrun instead of dribbling one Data per
 // subrun. Confirm semantics are untouched — every Send still blocks until
 // its own message is processed locally.
-type coalescer struct {
+type Coalescer struct {
 	window   time.Duration
 	maxCount int
 	maxBytes int
 
 	// enqueue hands a closure to the node loop, blocking until accepted;
 	// it fails only on shutdown. submit runs one submission inside that
-	// loop. obs records flush sizes (nil-safe).
+	// loop. observe records flush sizes (may be nil).
 	enqueue func(fn func()) error
-	submit  func(s *submission)
-	obs     *nodeObs
+	submit  func(s *Submission)
+	observe func(batch int)
 
 	mu      sync.Mutex
-	pending []*submission
+	pending []*Submission
 	bytes   int
 	timer   *time.Timer
+	stopped bool
 }
 
-func newCoalescer(window time.Duration, maxCount, maxBytes int,
-	enqueue func(func()) error, submit func(*submission), o *nodeObs) *coalescer {
+// NewCoalescer builds a coalescing sender. enqueue must hand a closure to
+// the loop goroutine that owns submit, blocking until accepted and failing
+// only on shutdown; observe (optional) receives the size of every flush.
+func NewCoalescer(window time.Duration, maxCount, maxBytes int,
+	enqueue func(func()) error, submit func(*Submission), observe func(int)) *Coalescer {
 	if maxCount <= 1 {
 		maxCount = core.DefaultBatchMax
 	}
 	if maxBytes <= 0 {
 		maxBytes = core.DefaultBatchBytes
 	}
-	return &coalescer{
+	return &Coalescer{
 		window:   window,
 		maxCount: maxCount,
 		maxBytes: maxBytes,
 		enqueue:  enqueue,
 		submit:   submit,
-		obs:      o,
+		observe:  observe,
 	}
 }
 
-// add queues one submission. It returns once the submission is part of a
-// flushed or pending batch; the caller then waits on s.res and s.confirm
-// under its own context.
-func (c *coalescer) add(s *submission) {
+// Add queues one submission. It returns once the submission is part of a
+// flushed or pending batch; the caller then waits on s.Res and s.Confirm
+// under its own context. After Stop, submissions fail immediately on Res.
+func (c *Coalescer) Add(s *Submission) {
 	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		s.Res <- SubResult{Err: ErrCoalescerStopped}
+		return
+	}
 	c.pending = append(c.pending, s)
 	c.bytes += s.wireCost()
-	var batch []*submission
+	var batch []*Submission
 	if len(c.pending) >= c.maxCount || c.bytes >= c.maxBytes {
 		batch = c.take()
 	} else if len(c.pending) == 1 {
@@ -92,9 +109,37 @@ func (c *coalescer) add(s *submission) {
 	}
 }
 
+// Stop fails every submission still pending inside an open batch window, so
+// no Send is left waiting on a confirm that can never come, and makes any
+// later Add fail the same way. Nil-safe; idempotent. The runtimes call it
+// on shutdown after closing their stop channels.
+func (c *Coalescer) Stop() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.stopped = true
+	batch := c.take()
+	c.mu.Unlock()
+	for _, s := range batch {
+		s.Res <- SubResult{Err: ErrCoalescerStopped}
+	}
+}
+
+// Pending reports how many submissions sit inside the open batch window.
+// Nil-safe; for tests and introspection, not the hot path.
+func (c *Coalescer) Pending() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
+}
+
 // take must run under mu: it claims the pending batch and disarms the
 // window timer.
-func (c *coalescer) take() []*submission {
+func (c *Coalescer) take() []*Submission {
 	batch := c.pending
 	c.pending = nil
 	c.bytes = 0
@@ -105,7 +150,7 @@ func (c *coalescer) take() []*submission {
 	return batch
 }
 
-func (c *coalescer) fire() {
+func (c *Coalescer) fire() {
 	c.mu.Lock()
 	batch := c.take()
 	c.mu.Unlock()
@@ -117,15 +162,17 @@ func (c *coalescer) fire() {
 // flush hands the whole batch to the node goroutine as one inbox event.
 // On shutdown every waiter is answered with the enqueue error instead of
 // being left to hang.
-func (c *coalescer) flush(batch []*submission) {
-	c.obs.coalesced(len(batch))
+func (c *Coalescer) flush(batch []*Submission) {
+	if c.observe != nil {
+		c.observe(len(batch))
+	}
 	if err := c.enqueue(func() {
 		for _, s := range batch {
 			c.submit(s)
 		}
 	}); err != nil {
 		for _, s := range batch {
-			s.res <- subResult{err: err}
+			s.Res <- SubResult{Err: err}
 		}
 	}
 }

@@ -118,6 +118,98 @@ func TestCoalescerFlushesOnWindow(t *testing.T) {
 	waitConverged(t, c, mid.SeqVector{1, 0}, 10*time.Second)
 }
 
+// TestCoalescerStopFailsPendingWindow pins the shutdown edge: submissions
+// queued inside an open batch window when Stop arrives must be answered —
+// each waiter gets ErrCoalescerStopped on its Res channel — never left
+// blocked on a flush that will not happen.
+func TestCoalescerStopFailsPendingWindow(t *testing.T) {
+	enqueued := 0
+	c := NewCoalescer(time.Hour, 16, 1<<20,
+		func(fn func()) error { enqueued++; fn(); return nil },
+		func(s *Submission) { t.Error("submission reached submit after Stop") },
+		nil)
+	const pending = 5
+	subs := make([]*Submission, pending)
+	for i := range subs {
+		subs[i] = &Submission{
+			Payload: []byte("pending"),
+			Res:     make(chan SubResult, 1),
+			Confirm: make(chan struct{}),
+		}
+		c.Add(subs[i])
+	}
+	if enqueued != 0 {
+		t.Fatalf("window is an hour and budgets are slack, yet %d flushes ran early", enqueued)
+	}
+	c.Stop()
+	for i, s := range subs {
+		select {
+		case r := <-s.Res:
+			if r.Err != ErrCoalescerStopped {
+				t.Errorf("submission %d: err = %v, want ErrCoalescerStopped", i, r.Err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("submission %d leaked: no Res after Stop", i)
+		}
+	}
+	// Idempotent, and Adds after Stop fail immediately the same way.
+	c.Stop()
+	late := &Submission{Res: make(chan SubResult, 1)}
+	c.Add(late)
+	select {
+	case r := <-late.Res:
+		if r.Err != ErrCoalescerStopped {
+			t.Errorf("post-Stop Add: err = %v, want ErrCoalescerStopped", r.Err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("post-Stop Add leaked: no Res")
+	}
+}
+
+// TestClusterStopUnblocksWindowedSends drives the same edge end to end: a
+// Send sitting inside an open window when Cluster.Stop runs must return an
+// error instead of hanging on its confirm channel.
+func TestClusterStopUnblocksWindowedSends(t *testing.T) {
+	cfg := liveConfig(2)
+	cfg.RoundDuration = time.Millisecond
+	cfg.BatchWindow = time.Hour // never fires: only Stop can resolve the Send
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Node(0).Send(context.Background(), []byte("stranded"), nil)
+		done <- err
+	}()
+	// Wait until the submission is actually inside the coalescer window, so
+	// Stop races against a queued waiter rather than an unstarted goroutine.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c.nodes[0].coal.mu.Lock()
+		queued := len(c.nodes[0].coal.pending)
+		c.nodes[0].coal.mu.Unlock()
+		if queued > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("submission never entered the coalescer window")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c.Stop()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("Send stranded in a stopped coalescer returned nil error")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Send leaked: still blocked after Cluster.Stop")
+	}
+}
+
 // TestUDPOversizeSendCounted pins the transport-boundary bugfix: a frame
 // the 64 KiB datagram cannot carry is counted and dropped at the sender
 // instead of being handed to WriteToUDP to fail (or worse, truncate).

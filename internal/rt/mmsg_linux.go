@@ -27,6 +27,22 @@ type mmsghdr struct {
 // mmsgBurst is how many datagrams one recvmmsg may drain.
 const mmsgBurst = 8
 
+// sendmmsgRaw/recvmmsgRaw are the raw burst syscalls behind one seam, so
+// the runtime-fallback tests can make a kernel that built the burst path
+// refuse it afterwards (ENOSYS) without a special kernel. Replaced only in
+// tests, before any node starts.
+var sendmmsgRaw = func(fd uintptr, hdrs *mmsghdr, n int) (uintptr, syscall.Errno) {
+	r, _, errno := syscall.Syscall6(sysSENDMMSG, fd,
+		uintptr(unsafe.Pointer(hdrs)), uintptr(n), 0, 0, 0)
+	return r, errno
+}
+
+var recvmmsgRaw = func(fd uintptr, hdrs *mmsghdr, n int) (uintptr, syscall.Errno) {
+	r, _, errno := syscall.Syscall6(syscall.SYS_RECVMMSG, fd,
+		uintptr(unsafe.Pointer(hdrs)), uintptr(n), 0, 0, 0)
+	return r, errno
+}
+
 // mmsgSender ships one frame to many destinations in a single sendmmsg.
 // Owned by the protocol loop goroutine; no locking.
 type mmsgSender struct {
@@ -84,8 +100,7 @@ func (m *mmsgSender) send(n *UDPNode, dsts []mid.ProcID, frame []byte) bool {
 	sent, errs, fellBack := 0, 0, false
 	werr := m.rc.Write(func(fd uintptr) bool {
 		for sent < len(dsts) {
-			r, _, errno := syscall.Syscall6(sysSENDMMSG, fd,
-				uintptr(unsafe.Pointer(&m.hdrs[sent])), uintptr(len(dsts)-sent), 0, 0, 0)
+			r, errno := sendmmsgRaw(fd, &m.hdrs[sent], len(dsts)-sent)
 			switch errno {
 			case 0:
 				sent += int(r)
@@ -173,8 +188,7 @@ func (m *mmsgReceiver) recv() (int, error) {
 	got := 0
 	var sysErr error
 	err := m.rc.Read(func(fd uintptr) bool {
-		r, _, errno := syscall.Syscall6(syscall.SYS_RECVMMSG, fd,
-			uintptr(unsafe.Pointer(&m.hdrs[0])), uintptr(len(m.hdrs)), 0, 0, 0)
+		r, errno := recvmmsgRaw(fd, &m.hdrs[0], len(m.hdrs))
 		switch errno {
 		case 0:
 			got = int(r)

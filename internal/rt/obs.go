@@ -11,9 +11,11 @@ import (
 	"urcgc/internal/wire"
 )
 
-// nodeObs holds one member's pre-resolved instruments, so hot paths touch
-// atomics instead of registry maps. A nil *nodeObs disables everything.
-type nodeObs struct {
+// NodeObs holds one protocol entity's pre-resolved instruments, so hot
+// paths touch atomics instead of registry maps. A nil *NodeObs disables
+// everything. Exported so the multi-group runtime (internal/topics) reuses
+// the same instrument set with an extra group label.
+type NodeObs struct {
 	reg *obs.Registry
 
 	processed   *obs.Counter
@@ -50,15 +52,17 @@ type nodeObs struct {
 	subrunStart time.Time
 }
 
-// newNodeObs resolves the per-member instrument set for a group of n;
-// nil registry → nil.
-func newNodeObs(reg *obs.Registry, id mid.ProcID, n int) *nodeObs {
+// NewNodeObs resolves the per-member instrument set for a group of n;
+// nil registry → nil. Every series carries a node label; extraLabels
+// appends further Prometheus label pairs (the multi-group runtime passes
+// "group", "<g>" so each group's series stay separable).
+func NewNodeObs(reg *obs.Registry, id mid.ProcID, n int, extraLabels ...string) *NodeObs {
 	if reg == nil {
 		return nil
 	}
-	node := strconv.Itoa(int(id))
-	l := func(name string) string { return obs.Labeled(name, "node", node) }
-	o := &nodeObs{
+	kv := append([]string{"node", strconv.Itoa(int(id))}, extraLabels...)
+	l := func(name string) string { return obs.Labeled(name, kv...) }
+	o := &NodeObs{
 		reg:         reg,
 		processed:   reg.Counter(l("rt_processed_total")),
 		indDropped:  reg.Counter(l("rt_indications_dropped_total")),
@@ -89,10 +93,10 @@ func newNodeObs(reg *obs.Registry, id mid.ProcID, n int) *nodeObs {
 	return o
 }
 
-// install extends a member's protocol callbacks with the observability
+// Install extends a member's protocol callbacks with the observability
 // hooks. The passed callbacks' own fields keep running first. All hooks
-// execute on the node loop goroutine, like every core callback.
-func (o *nodeObs) install(cb core.Callbacks) core.Callbacks {
+// execute on the node loop goroutine, like every core callback. Nil-safe.
+func (o *NodeObs) Install(cb core.Callbacks) core.Callbacks {
 	if o == nil {
 		return cb
 	}
@@ -173,34 +177,34 @@ func (o *nodeObs) install(cb core.Callbacks) core.Callbacks {
 	return cb
 }
 
-// markRound notes the subrun open for decision-latency measurement. Loop
+// MarkRound notes the subrun open for decision-latency measurement. Loop
 // goroutine only.
-func (o *nodeObs) markRound(r int) {
+func (o *NodeObs) MarkRound(r int) {
 	if o == nil || r%2 != 0 {
 		return
 	}
 	o.subrunStart = time.Now()
 }
 
-// coalesced records one coalescer flush of n submissions. Safe from any
+// Coalesced records one coalescer flush of n submissions. Safe from any
 // goroutine.
-func (o *nodeObs) coalesced(n int) {
+func (o *NodeObs) Coalesced(n int) {
 	if o != nil {
 		o.coalesceSz.Observe(float64(n))
 	}
 }
 
-// indicationDropped counts a slow consumer losing an indication.
-func (o *nodeObs) indicationDropped() {
+// IndicationDropped counts a slow consumer losing an indication.
+func (o *NodeObs) IndicationDropped() {
 	if o != nil {
 		o.indDropped.Inc()
 	}
 }
 
-// inboxDropped counts a datagram refused by a full inbox and records the
+// InboxDropped counts a datagram refused by a full inbox and records the
 // by-design omission as a trace event, so the recovery path is verifiable
 // from the log rather than assumed.
-func (o *nodeObs) inboxDropped(id mid.ProcID) {
+func (o *NodeObs) InboxDropped(id mid.ProcID) {
 	if o == nil {
 		return
 	}
@@ -208,17 +212,27 @@ func (o *nodeObs) inboxDropped(id mid.ProcID) {
 	o.reg.Events().Addf("inbox-drop node=%d (full inbox: omission, recovered from history)", id)
 }
 
-// observeConfirm records one Rq→Conf latency (the paper's delay, wall-
+// ObserveConfirm records one Rq→Conf latency (the paper's delay, wall-
 // clock edition). Safe from any goroutine.
-func (o *nodeObs) observeConfirm(t0 time.Time) {
+func (o *NodeObs) ObserveConfirm(t0 time.Time) {
 	if o != nil {
 		o.confirmLat.ObserveSince(t0)
 	}
 }
 
-// sampleInbox publishes the current inbox depth. Safe from any goroutine.
-func (o *nodeObs) sampleInbox(depth int) {
+// SampleInbox publishes the current inbox depth. Safe from any goroutine.
+func (o *NodeObs) SampleInbox(depth int) {
 	if o != nil {
 		o.inboxDepth.Set(int64(depth))
 	}
+}
+
+// Processed returns the number of messages processed at this member so far
+// — the per-group shutdown-summary count of the multi-group runtime. Safe
+// from any goroutine; 0 when observability is disabled.
+func (o *NodeObs) Processed() int64 {
+	if o == nil {
+		return 0
+	}
+	return o.processed.Value()
 }

@@ -129,9 +129,16 @@ func (c *Cluster) Start() {
 	}()
 }
 
-// Stop halts the cluster and waits for every goroutine to exit.
+// Stop halts the cluster and waits for every goroutine to exit. Any
+// submissions still pending inside an open coalescer window are failed, so
+// no Send is left waiting on a confirm that can never come.
 func (c *Cluster) Stop() {
-	c.stopOnce.Do(func() { close(c.stopCh) })
+	c.stopOnce.Do(func() {
+		close(c.stopCh)
+		for _, n := range c.nodes {
+			n.coal.Stop()
+		}
+	})
 	c.wg.Wait()
 }
 
@@ -165,13 +172,13 @@ func (c *Cluster) clock() {
 			if c.cfg.Fault.Crashed(n.id) {
 				n.Kill()
 			}
-			n.obs.sampleInbox(len(n.inbox))
+			n.obs.SampleInbox(len(n.inbox))
 			done := make(chan struct{})
 			dones[i] = done
 			select {
 			case n.inbox <- func() {
 				if !n.Killed() {
-					n.obs.markRound(r)
+					n.obs.MarkRound(r)
 					n.proc.StartRound(r)
 				}
 				close(done)
@@ -207,9 +214,9 @@ type Node struct {
 	c      *Cluster
 	id     mid.ProcID
 	proc   *core.Process
-	obs    *nodeObs
+	obs    *NodeObs
 	tracer *lifecycle.Tracer
-	coal   *coalescer // nil unless BatchWindow is set
+	coal   *Coalescer // nil unless BatchWindow is set
 
 	inbox chan func()
 	ind   chan Indication
@@ -225,7 +232,7 @@ func newNode(c *Cluster, id mid.ProcID) *Node {
 	n := &Node{
 		c:       c,
 		id:      id,
-		obs:     newNodeObs(c.cfg.Metrics, id, c.cfg.N),
+		obs:     NewNodeObs(c.cfg.Metrics, id, c.cfg.N),
 		inbox:   make(chan func(), c.cfg.InboxDepth),
 		ind:     make(chan Indication, c.cfg.IndicationDepth),
 		waiters: make(map[mid.MID]chan struct{}),
@@ -238,9 +245,9 @@ func newNode(c *Cluster, id mid.ProcID) *Node {
 		n.tracer = lifecycle.New(id, c.cfg.N, opts, c.cfg.Metrics)
 	}
 	if c.cfg.BatchWindow > 0 {
-		n.coal = newCoalescer(c.cfg.BatchWindow, c.cfg.BatchMax, c.cfg.BatchBytes,
+		n.coal = NewCoalescer(c.cfg.BatchWindow, c.cfg.BatchMax, c.cfg.BatchBytes,
 			func(fn func()) error { return n.enqueueWait(context.Background(), fn) },
-			n.submitNow, n.obs)
+			n.submitNow, n.obs.Coalesced)
 	}
 	return n
 }
@@ -257,7 +264,7 @@ func (n *Node) init() error {
 			select {
 			case n.ind <- Indication{Msg: *m}:
 			default: // slow consumer: indication dropped, like a full SAP queue
-				n.obs.indicationDropped()
+				n.obs.IndicationDropped()
 			}
 		},
 		OnLeave: func(r core.LeaveReason) {
@@ -270,7 +277,7 @@ func (n *Node) init() error {
 			n.mu.Unlock()
 		},
 	}
-	p, err := core.NewProcess(n.id, n.c.cfg.Config, meshTransport{n: n}, installLifecycle(n.tracer, n.obs.install(cb)))
+	p, err := core.NewProcess(n.id, n.c.cfg.Config, meshTransport{n: n}, installLifecycle(n.tracer, n.obs.Install(cb)))
 	if err != nil {
 		return err
 	}
@@ -292,7 +299,7 @@ func (n *Node) enqueue(fn func()) bool {
 		n.mu.Lock()
 		n.dropped++
 		n.mu.Unlock()
-		n.obs.inboxDropped(n.id)
+		n.obs.InboxDropped(n.id)
 		return false
 	}
 }
@@ -383,65 +390,65 @@ func (n *Node) SendCausal(ctx context.Context, payload []byte) (mid.MID, error) 
 }
 
 // submitNow runs one queued submission. Loop goroutine only.
-func (n *Node) submitNow(s *submission) {
+func (n *Node) submitNow(s *Submission) {
 	if n.Killed() {
-		s.res <- subResult{err: fmt.Errorf("rt: member %d is fail-stopped", n.id)}
+		s.Res <- SubResult{Err: fmt.Errorf("rt: member %d is fail-stopped", n.id)}
 		return
 	}
 	var id mid.MID
 	var err error
-	if s.causal {
-		id, err = n.proc.SubmitCausal(s.payload)
+	if s.Causal {
+		id, err = n.proc.SubmitCausal(s.Payload)
 	} else {
-		id, err = n.proc.Submit(s.payload, s.deps)
+		id, err = n.proc.Submit(s.Payload, s.Deps)
 	}
 	if err == nil {
 		n.mu.Lock()
-		n.waiters[id] = s.confirm
+		n.waiters[id] = s.Confirm
 		n.mu.Unlock()
 	}
-	s.res <- subResult{id, err}
+	s.Res <- SubResult{id, err}
 }
 
 func (n *Node) send(ctx context.Context, payload []byte, deps mid.DepList, causal bool) (mid.MID, error) {
 	t0 := time.Now()
-	s := &submission{
-		payload: payload,
-		deps:    deps,
-		causal:  causal,
-		res:     make(chan subResult, 1),
-		confirm: make(chan struct{}),
+	s := &Submission{
+		Payload: payload,
+		Deps:    deps,
+		Causal:  causal,
+		Res:     make(chan SubResult, 1),
+		Confirm: make(chan struct{}),
 	}
 	if n.coal != nil {
-		n.coal.add(s)
+		n.coal.Add(s)
 	} else if err := n.enqueueWait(ctx, func() { n.submitNow(s) }); err != nil {
 		return mid.MID{}, err
 	}
-	var r subResult
+	var r SubResult
 	select {
-	case r = <-s.res:
+	case r = <-s.Res:
 	case <-n.c.stopCh:
 		return mid.MID{}, fmt.Errorf("rt: cluster stopped")
 	case <-ctx.Done():
 		return mid.MID{}, ctx.Err()
 	}
-	if r.err != nil {
-		return mid.MID{}, r.err
+	if r.Err != nil {
+		return mid.MID{}, r.Err
 	}
 	select {
-	case <-s.confirm:
+	case <-s.Confirm:
 	case <-n.c.stopCh:
-		n.unwait(r.id, s.confirm)
-		return r.id, fmt.Errorf("rt: cluster stopped")
+		n.unwait(r.ID, s.Confirm)
+		return r.ID, fmt.Errorf("rt: cluster stopped")
 	case <-ctx.Done():
-		n.unwait(r.id, s.confirm)
-		return r.id, ctx.Err()
+		n.unwait(r.ID, s.Confirm)
+		return r.ID, ctx.Err()
 	}
 	if _, left := n.Left(); left {
-		return r.id, fmt.Errorf("rt: member %d left the group", n.id)
+		return r.ID, fmt.Errorf("rt: member %d left the group", n.id)
 	}
-	n.obs.observeConfirm(t0)
-	return r.id, nil
+	n.obs.ObserveConfirm(t0)
+	return r.ID, nil
 }
 
 // Dropped returns how many datagrams this node's inbox refused because it

@@ -45,10 +45,15 @@ type Status struct {
 	Alive []bool `json:"alive"`
 	// Stats is a copy of the protocol activity counters.
 	Stats core.Stats `json:"stats"`
+	// GroupProcessed, when the member hosts multiple groups (internal/topics),
+	// is the per-group processed-message count; empty for single-group
+	// members, so existing consumers see an unchanged shape.
+	GroupProcessed []int64 `json:"group_processed,omitempty"`
 }
 
-// statusOf samples p. Must run on the goroutine driving p.
-func statusOf(p *core.Process) Status {
+// StatusOf samples p. Exported for the multi-group runtime (internal/topics),
+// which snapshots each group's process on its shard goroutine. Must run on the goroutine driving p.
+func StatusOf(p *core.Process) Status {
 	return Status{
 		ID:              p.ID(),
 		N:               p.View().N(),
@@ -70,7 +75,7 @@ func statusOf(p *core.Process) Status {
 // running inside the node goroutine.
 func (n *Node) Status(ctx context.Context) (Status, error) {
 	var s Status
-	err := n.Snapshot(ctx, func(p *core.Process) { s = statusOf(p) })
+	err := n.Snapshot(ctx, func(p *core.Process) { s = StatusOf(p) })
 	return s, err
 }
 
@@ -78,6 +83,6 @@ func (n *Node) Status(ctx context.Context) (Status, error) {
 // running inside the node goroutine.
 func (n *UDPNode) Status(ctx context.Context) (Status, error) {
 	var s Status
-	err := n.Snapshot(ctx, func(p *core.Process) { s = statusOf(p) })
+	err := n.Snapshot(ctx, func(p *core.Process) { s = StatusOf(p) })
 	return s, err
 }

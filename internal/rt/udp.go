@@ -2,7 +2,6 @@ package rt
 
 import (
 	"context"
-	"encoding/binary"
 	"fmt"
 	"log"
 	"net"
@@ -84,10 +83,10 @@ type UDPNode struct {
 	proc   *core.Process
 	conn   *net.UDPConn
 	peers  []*net.UDPAddr
-	obs    *nodeObs
+	obs    *NodeObs
 	sock   *sockObs
 	tracer *lifecycle.Tracer
-	coal   *coalescer  // nil unless BatchWindow is set
+	coal   *Coalescer  // nil unless BatchWindow is set
 	mmsend *mmsgSender // nil where sendmmsg is unavailable
 
 	// burstScratch collects the clean-verdict destinations of one
@@ -178,7 +177,7 @@ func NewUDPNode(cfg UDPConfig) (*UDPNode, error) {
 	}
 	n := &UDPNode{
 		cfg:     cfg,
-		obs:     newNodeObs(cfg.Metrics, cfg.Self, cfg.N),
+		obs:     NewNodeObs(cfg.Metrics, cfg.Self, cfg.N),
 		sock:    newSockObs(cfg.Metrics),
 		inbox:   make(chan func(), cfg.InboxDepth),
 		ind:     make(chan Indication, cfg.IndicationDepth),
@@ -212,7 +211,7 @@ func NewUDPNode(cfg UDPConfig) (*UDPNode, error) {
 			select {
 			case n.ind <- Indication{Msg: *m}:
 			default: // slow consumer: indication dropped, like a full SAP queue
-				n.obs.indicationDropped()
+				n.obs.IndicationDropped()
 			}
 		},
 		OnLeave: func(r core.LeaveReason) {
@@ -232,15 +231,15 @@ func NewUDPNode(cfg UDPConfig) (*UDPNode, error) {
 		}
 		n.tracer = lifecycle.New(cfg.Self, cfg.N, opts, cfg.Metrics)
 	}
-	proc, err := core.NewProcess(cfg.Self, cfg.Config, udpTransport{n: n}, installLifecycle(n.tracer, n.obs.install(cb)))
+	proc, err := core.NewProcess(cfg.Self, cfg.Config, udpTransport{n: n}, installLifecycle(n.tracer, n.obs.Install(cb)))
 	if err != nil {
 		conn.Close()
 		return nil, err
 	}
 	n.proc = proc
 	if cfg.BatchWindow > 0 {
-		n.coal = newCoalescer(cfg.BatchWindow, cfg.BatchMax, cfg.BatchBytes,
-			n.enqueueCommand, n.submitNow, n.obs)
+		n.coal = NewCoalescer(cfg.BatchWindow, cfg.BatchMax, cfg.BatchBytes,
+			n.enqueueCommand, n.submitNow, n.obs.Coalesced)
 	}
 	n.mmsend = newMmsgSender(n) // nil → single-syscall fallback
 	n.burstScratch = make([]mid.ProcID, 0, cfg.N)
@@ -262,8 +261,14 @@ func (n *UDPNode) enqueueCommand(fn func()) error {
 // tracing is disabled. Safe from any goroutine.
 func (n *UDPNode) Lifecycle() *lifecycle.Tracer { return n.tracer }
 
-// LocalAddr returns the bound UDP address (useful with port 0 in tests).
-func (n *UDPNode) LocalAddr() *net.UDPAddr { return n.conn.LocalAddr().(*net.UDPAddr) }
+// LocalAddr returns the bound UDP address (useful with port 0 in tests), or
+// nil when it is unavailable — a closed socket reports a nil address, and a
+// wrapped conn may report a non-UDP one; a status probe must not panic on
+// either, so the type assertion is checked.
+func (n *UDPNode) LocalAddr() *net.UDPAddr {
+	addr, _ := n.conn.LocalAddr().(*net.UDPAddr)
+	return addr
+}
 
 // Start launches the reader, the round clock and the protocol loop.
 func (n *UDPNode) Start() {
@@ -273,11 +278,14 @@ func (n *UDPNode) Start() {
 	go func() { defer n.wg.Done(); n.loop() }()
 }
 
-// Stop halts the member and closes its socket.
+// Stop halts the member and closes its socket. Any submissions still
+// pending inside an open coalescer window are failed, so no Send is left
+// waiting on a confirm that can never come.
 func (n *UDPNode) Stop() {
 	n.stopOnce.Do(func() {
 		close(n.stopCh)
 		n.conn.Close()
+		n.coal.Stop()
 	})
 	n.wg.Wait()
 }
@@ -296,20 +304,20 @@ func (n *UDPNode) Left() (core.LeaveReason, bool) {
 }
 
 // submitNow runs one queued submission. Loop goroutine only.
-func (n *UDPNode) submitNow(s *submission) {
+func (n *UDPNode) submitNow(s *Submission) {
 	var id mid.MID
 	var err error
-	if s.causal {
-		id, err = n.proc.SubmitCausal(s.payload)
+	if s.Causal {
+		id, err = n.proc.SubmitCausal(s.Payload)
 	} else {
-		id, err = n.proc.Submit(s.payload, s.deps)
+		id, err = n.proc.Submit(s.Payload, s.Deps)
 	}
 	if err == nil {
 		n.mu.Lock()
-		n.waiters[id] = s.confirm
+		n.waiters[id] = s.Confirm
 		n.mu.Unlock()
 	}
-	s.res <- subResult{id, err}
+	s.Res <- SubResult{id, err}
 }
 
 // Send is the urcgc-data.Rq/Conf pair over UDP. With BatchWindow set,
@@ -317,14 +325,14 @@ func (n *UDPNode) submitNow(s *submission) {
 // its own message is processed locally.
 func (n *UDPNode) Send(ctx context.Context, payload []byte, deps mid.DepList) (mid.MID, error) {
 	t0 := time.Now()
-	s := &submission{
-		payload: payload,
-		deps:    deps,
-		res:     make(chan subResult, 1),
-		confirm: make(chan struct{}),
+	s := &Submission{
+		Payload: payload,
+		Deps:    deps,
+		Res:     make(chan SubResult, 1),
+		Confirm: make(chan struct{}),
 	}
 	if n.coal != nil {
-		n.coal.add(s)
+		n.coal.Add(s)
 	} else {
 		select {
 		case n.inbox <- func() { n.submitNow(s) }:
@@ -334,28 +342,28 @@ func (n *UDPNode) Send(ctx context.Context, payload []byte, deps mid.DepList) (m
 			return mid.MID{}, ctx.Err()
 		}
 	}
-	var r subResult
+	var r SubResult
 	select {
-	case r = <-s.res:
+	case r = <-s.Res:
 	case <-n.stopCh:
 		return mid.MID{}, fmt.Errorf("rt: node stopped")
 	case <-ctx.Done():
 		return mid.MID{}, ctx.Err()
 	}
-	if r.err != nil {
-		return mid.MID{}, r.err
+	if r.Err != nil {
+		return mid.MID{}, r.Err
 	}
 	select {
-	case <-s.confirm:
+	case <-s.Confirm:
 	case <-n.stopCh:
-		n.unwait(r.id, s.confirm)
-		return r.id, fmt.Errorf("rt: node stopped")
+		n.unwait(r.ID, s.Confirm)
+		return r.ID, fmt.Errorf("rt: node stopped")
 	case <-ctx.Done():
-		n.unwait(r.id, s.confirm)
-		return r.id, ctx.Err()
+		n.unwait(r.ID, s.Confirm)
+		return r.ID, ctx.Err()
 	}
-	n.obs.observeConfirm(t0)
-	return r.id, nil
+	n.obs.ObserveConfirm(t0)
+	return r.ID, nil
 }
 
 // unwait removes a registered confirm waiter, but only if it is still the
@@ -420,9 +428,9 @@ func (n *UDPNode) clock() {
 			}
 			r := round
 			round++
-			n.obs.sampleInbox(len(n.inbox))
+			n.obs.SampleInbox(len(n.inbox))
 			select {
-			case n.inbox <- func() { n.obs.markRound(r); n.proc.StartRound(r) }:
+			case n.inbox <- func() { n.obs.MarkRound(r); n.proc.StartRound(r) }:
 				if rounds != nil {
 					rounds.Inc()
 				}
@@ -513,14 +521,21 @@ func (n *UDPNode) handleDatagram(pkt []byte, from *net.UDPAddr) {
 		n.warnf("oversize datagram from %v truncated past %d bytes: dropped", from, maxDatagram)
 		return
 	}
-	if sz < 4 {
+	group, src, body, err := wire.ParseEnvelope(pkt)
+	if err != nil {
 		if n.sock != nil {
 			n.sock.dropShort.Inc()
 		}
-		n.warnf("runt datagram (%d bytes) from %v: dropped", sz, from)
+		n.warnf("unparseable datagram (%d bytes) from %v: dropped", sz, from)
 		return
 	}
-	src := mid.ProcID(int32(binary.BigEndian.Uint32(pkt[:4])))
+	if group != 0 {
+		if n.sock != nil {
+			n.sock.dropBadSrc.Inc()
+		}
+		n.warnf("datagram from %v for group %d on single-group node: dropped", from, group)
+		return
+	}
 	if src < 0 || int(src) >= n.cfg.N {
 		if n.sock != nil {
 			n.sock.dropBadSrc.Inc()
@@ -535,7 +550,7 @@ func (n *UDPNode) handleDatagram(pkt []byte, from *net.UDPAddr) {
 	// Decode in place: Unmarshal never aliases its input, so the read
 	// buffer is immediately reusable for the next datagram — no
 	// per-datagram copy or allocation.
-	pdu, err := wire.Unmarshal(pkt[4:])
+	pdu, err := wire.Unmarshal(body)
 	if err != nil {
 		if n.sock != nil {
 			n.sock.dropDecode.Inc()
@@ -551,7 +566,7 @@ func (n *UDPNode) handleDatagram(pkt []byte, from *net.UDPAddr) {
 	// before the read buffer is reused for the next datagram.
 	var extra []wire.PDU
 	for i := 0; i < act.Dup; i++ {
-		d, derr := wire.Unmarshal(pkt[4:])
+		d, derr := wire.Unmarshal(body)
 		if derr != nil {
 			break
 		}
@@ -578,19 +593,20 @@ func (n *UDPNode) enqueueDatagram(fn func()) {
 	select {
 	case n.inbox <- fn:
 	default:
-		n.obs.inboxDropped(n.cfg.Self)
+		n.obs.InboxDropped(n.cfg.Self)
 	}
 }
 
 // udpTransport sends PDUs as [src:4][marshaled PDU] datagrams.
 type udpTransport struct{ n *UDPNode }
 
-// frame encodes [src:4][body] into one pooled buffer: the 4-byte source
-// header is reserved up front so the PDU marshals directly behind it with
-// no second buffer or copy. The caller owns the result until PutBuf.
+// frame encodes the group-0 envelope ([src:4][body], byte-identical to the
+// pre-group framing) into one pooled buffer: the header is reserved up
+// front so the PDU marshals directly behind it with no second buffer or
+// copy. The caller owns the result until PutBuf.
 func (t udpTransport) frame(pdu wire.PDU) ([]byte, error) {
-	buf := wire.GetBuf(4 + pdu.EncodedSize())[:4]
-	binary.BigEndian.PutUint32(buf, uint32(t.n.cfg.Self))
+	buf := wire.GetBuf(wire.EnvelopeSize(0) + pdu.EncodedSize())[:0]
+	buf = wire.AppendEnvelope(buf, 0, t.n.cfg.Self)
 	return wire.MarshalAppend(buf, pdu)
 }
 

@@ -1,0 +1,166 @@
+package topics
+
+import (
+	"sync"
+	"time"
+
+	"urcgc/internal/core"
+	"urcgc/internal/mid"
+	"urcgc/internal/wire"
+)
+
+// MultiCluster is an in-process group of multi-group members, for tests
+// and benchmarks: every frame still crosses the wire codec and the group
+// envelope, so the demux path is exercised byte-for-byte as over UDP, but
+// delivery is a function call instead of a socket.
+//
+// Rounds run in lockstep across every node and group — each round's
+// barrier waits for all G×N protocol entities — removing
+// scheduler-starvation artifacts exactly as rt.Cluster does for one group.
+type MultiCluster struct {
+	cfg   Config
+	nodes []*MultiNode
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	wg       sync.WaitGroup
+}
+
+// NewMultiCluster builds (but does not start) N in-process multi-group
+// members. Config.Self and Config.Peers are ignored; every member hosts
+// every group.
+func NewMultiCluster(cfg Config) (*MultiCluster, error) {
+	cfg.fill(true)
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	c := &MultiCluster{cfg: cfg, stopCh: make(chan struct{})}
+	c.nodes = make([]*MultiNode, cfg.N)
+	for i := range c.nodes {
+		ncfg := cfg
+		ncfg.Self = mid.ProcID(i)
+		n := newMultiNode(ncfg)
+		n.mesh = c
+		c.nodes[i] = n
+	}
+	for _, n := range c.nodes {
+		if err := n.initSessions(func(s *session) core.Transport { return meshTransport{s} }); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// Start launches every node's shard loops and the lockstep clock.
+func (c *MultiCluster) Start() {
+	for _, n := range c.nodes {
+		n.Start()
+	}
+	c.wg.Add(1)
+	go func() { defer c.wg.Done(); c.clock() }()
+}
+
+// Stop halts the clock, then every node. Pending coalescer submissions are
+// failed, never leaked.
+func (c *MultiCluster) Stop() {
+	c.stopOnce.Do(func() { close(c.stopCh) })
+	c.wg.Wait()
+	for _, n := range c.nodes {
+		n.Stop()
+	}
+}
+
+// Node returns member i.
+func (c *MultiCluster) Node(i mid.ProcID) *MultiNode { return c.nodes[i] }
+
+// N returns the group cardinality.
+func (c *MultiCluster) N() int { return c.cfg.N }
+
+// Groups returns how many groups every member hosts.
+func (c *MultiCluster) Groups() int { return c.cfg.Groups }
+
+// clock drives rounds in lockstep: every protocol entity of every node
+// finishes round r before any starts r+1, and at least RoundDuration
+// elapses per round.
+func (c *MultiCluster) clock() {
+	round := 0
+	dones := make([]chan struct{}, 0, c.cfg.N*c.cfg.Groups)
+	for {
+		start := time.Now()
+		r := round
+		round++
+		dones = dones[:0]
+		for _, n := range c.nodes {
+			for _, s := range n.sessions {
+				s := s
+				done := make(chan struct{})
+				select {
+				case s.shard.inbox <- func() { s.obs.MarkRound(r); s.proc.StartRound(r); close(done) }:
+					dones = append(dones, done)
+				case <-c.stopCh:
+					return
+				}
+			}
+		}
+		for _, done := range dones {
+			select {
+			case <-done:
+			case <-c.stopCh:
+				return
+			}
+		}
+		if rest := c.cfg.RoundDuration - time.Since(start); rest > 0 {
+			select {
+			case <-time.After(rest):
+			case <-c.stopCh:
+				return
+			}
+		}
+	}
+}
+
+// meshTransport frames one group's PDUs with the group envelope and feeds
+// them straight into the destination node's demultiplexer — the same
+// validate-decode-dispatch path UDP frames take. The frame buffer never
+// outlives the call: demux decodes a self-owned PDU before returning, so
+// the pooled buffer goes back immediately.
+type meshTransport struct{ s *session }
+
+func (t meshTransport) frame(pdu wire.PDU) ([]byte, error) {
+	buf := wire.GetBuf(wire.EnvelopeSize(t.s.group) + pdu.EncodedSize())[:0]
+	buf = wire.AppendEnvelope(buf, t.s.group, t.s.m.cfg.Self)
+	return wire.MarshalAppend(buf, pdu)
+}
+
+func (t meshTransport) Send(dst mid.ProcID, pdu wire.PDU) {
+	m := t.s.m
+	if dst == m.cfg.Self || dst < 0 || int(dst) >= m.cfg.N {
+		return
+	}
+	frame, err := t.frame(pdu)
+	if err != nil || !m.checkSize(frame, pdu) {
+		wire.PutBuf(frame)
+		return
+	}
+	m.mesh.nodes[dst].demux(frame)
+	wire.PutBuf(frame)
+}
+
+// Broadcast marshals the PDU exactly once; every destination demultiplexes
+// its own self-owned PDU from the same bytes.
+func (t meshTransport) Broadcast(pdu wire.PDU) {
+	m := t.s.m
+	frame, err := t.frame(pdu)
+	if err != nil || !m.checkSize(frame, pdu) {
+		wire.PutBuf(frame)
+		return
+	}
+	for i := 0; i < m.cfg.N; i++ {
+		dst := mid.ProcID(i)
+		if dst == m.cfg.Self {
+			continue
+		}
+		m.mesh.nodes[dst].demux(frame)
+	}
+	wire.PutBuf(frame)
+}

@@ -1,0 +1,899 @@
+// Package topics runs many independent urcgc groups inside one process
+// over one shared transport. Each group is a full protocol entity — its
+// own rotating coordinator, history buffer and causal order — multiplexed
+// onto a single UDP socket (or one in-process mesh) by the group-id frame
+// envelope from internal/wire.
+//
+// The runtime is sharded: groups hash onto S shard loops, each shard a
+// goroutine owning its groups' core.Process instances, so G groups cost S
+// protocol goroutines rather than G and independent groups make progress
+// in parallel. One reader goroutine demultiplexes incoming frames onto the
+// shards; one sender goroutine coalesces outgoing datagrams from every
+// group into burst syscalls.
+//
+// Demux ownership rule: the reader's receive buffer never crosses a
+// goroutine boundary. A frame is validated and decoded into a self-owned
+// PDU on the reader goroutine; only that PDU travels into a shard inbox.
+// Symmetrically, outgoing frames are pooled buffers owned by the shared
+// sender (refcounted across a broadcast fan-out) and return to the wire
+// pool after the last write.
+package topics
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"urcgc/internal/causal"
+	"urcgc/internal/core"
+	"urcgc/internal/mid"
+	"urcgc/internal/obs"
+	"urcgc/internal/rt"
+	"urcgc/internal/wire"
+)
+
+// maxDatagram bounds datagrams in both directions, matching the
+// single-group UDP runtime so a mixed deployment agrees on the limit.
+const maxDatagram = 64 * 1024
+
+// Config configures one member's multi-group runtime. The embedded
+// core.Config applies to every group; all groups share the member
+// identity, the peer set and the socket.
+type Config struct {
+	core.Config
+	// Groups is how many independent groups (ids 0..Groups-1) this member
+	// hosts. Group 0 is wire-compatible with single-group nodes. Default 1.
+	Groups int
+	// Shards is how many shard loops carry the groups. Groups hash onto
+	// shards (group mod Shards); each shard is one goroutine owning its
+	// groups' protocol entities. Default min(Groups, GOMAXPROCS).
+	Shards int
+	// Self is this member's identity in every group.
+	Self mid.ProcID
+	// Peers maps every ProcID to its UDP address; Peers[Self] is our bind
+	// address. Ignored by the in-process mesh.
+	Peers []string
+	// RoundDuration is the wall-clock round length, shared by all groups.
+	// Default 20ms over UDP, 2ms on the mesh.
+	RoundDuration time.Duration
+	// BatchWindow enables each group's coalescing sender, exactly as in
+	// the single-group runtimes. Zero disables coalescing.
+	BatchWindow time.Duration
+	// InboxDepth bounds each shard's event queue (default 4096). A full
+	// shard inbox drops datagrams — an omission the protocol repairs.
+	InboxDepth int
+	// IndicationDepth bounds each group's indication queue (default 1024).
+	IndicationDepth int
+	// TxDepth bounds the shared outgoing-datagram queue (default 4096).
+	TxDepth int
+	// Metrics, when non-nil, receives per-group protocol series (each
+	// carrying node and group labels) plus shared socket accounting.
+	Metrics *obs.Registry
+	// Logf receives throttled operator-visible warnings; nil means
+	// log.Printf.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fill(mesh bool) {
+	if c.Groups == 0 {
+		c.Groups = 1
+	}
+	if c.Shards == 0 {
+		c.Shards = c.Groups
+		if p := runtime.GOMAXPROCS(0); c.Shards > p {
+			c.Shards = p
+		}
+	}
+	if c.RoundDuration == 0 {
+		if mesh {
+			c.RoundDuration = 2 * time.Millisecond
+		} else {
+			c.RoundDuration = 20 * time.Millisecond
+		}
+	}
+	if c.BatchWindow > 0 && c.BatchMax == 0 {
+		c.BatchMax = core.DefaultBatchMax
+	}
+	if c.InboxDepth == 0 {
+		c.InboxDepth = 4096
+	}
+	if c.IndicationDepth == 0 {
+		c.IndicationDepth = 1024
+	}
+	if c.TxDepth == 0 {
+		c.TxDepth = 4096
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+}
+
+func (c *Config) validate() error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	if c.Groups < 1 || c.Groups > wire.MaxGroupID {
+		return fmt.Errorf("topics: %d groups outside [1,%d]", c.Groups, int64(wire.MaxGroupID))
+	}
+	if c.Shards < 1 {
+		return fmt.Errorf("topics: %d shards", c.Shards)
+	}
+	return nil
+}
+
+// Indication is one message processed in causal order, tagged with the
+// group that carried it.
+type Indication struct {
+	Group uint32
+	Msg   causal.Message
+}
+
+var errStopped = fmt.Errorf("topics: node stopped")
+
+// MultiNode is one member of every hosted group: G protocol entities over
+// one socket, S shard loops, one reader, one shared sender.
+type MultiNode struct {
+	cfg      Config
+	sessions []*session
+	shards   []*shard
+
+	// UDP mode; all nil on a mesh node.
+	conn  *net.UDPConn
+	peers []*net.UDPAddr
+	tx    *txSender
+
+	mesh *MultiCluster // set on mesh nodes only
+
+	mobs *multiObs
+
+	stopCh   chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+	warnTh   obs.Throttle
+}
+
+// NewMultiNode binds the shared socket and prepares every group's protocol
+// entity. Start launches the runtime; Stop halts it.
+func NewMultiNode(cfg Config) (*MultiNode, error) {
+	cfg.fill(false)
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(cfg.Peers) != cfg.N {
+		return nil, fmt.Errorf("topics: %d peers for group of %d", len(cfg.Peers), cfg.N)
+	}
+	if cfg.Self < 0 || int(cfg.Self) >= cfg.N {
+		return nil, fmt.Errorf("topics: self %d outside group", cfg.Self)
+	}
+	m := newMultiNode(cfg)
+	m.peers = make([]*net.UDPAddr, cfg.N)
+	for i, p := range cfg.Peers {
+		addr, err := net.ResolveUDPAddr("udp", p)
+		if err != nil {
+			return nil, fmt.Errorf("topics: peer %d %q: %w", i, p, err)
+		}
+		m.peers[i] = addr
+	}
+	conn, err := net.ListenUDP("udp", m.peers[cfg.Self])
+	if err != nil {
+		return nil, fmt.Errorf("topics: bind %q: %w", cfg.Peers[cfg.Self], err)
+	}
+	m.conn = conn
+	m.tx = newTxSender(m)
+	if err := m.initSessions(func(s *session) core.Transport { return groupTransport{s} }); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return m, nil
+}
+
+func newMultiNode(cfg Config) *MultiNode {
+	m := &MultiNode{
+		cfg:    cfg,
+		stopCh: make(chan struct{}),
+		mobs:   newMultiObs(cfg.Metrics),
+	}
+	m.shards = make([]*shard, cfg.Shards)
+	for i := range m.shards {
+		m.shards[i] = &shard{m: m, inbox: make(chan func(), cfg.InboxDepth)}
+	}
+	return m
+}
+
+// initSessions builds one protocol entity per group, each wired to its
+// shard and to the transport tp constructs for it.
+func (m *MultiNode) initSessions(tp func(*session) core.Transport) error {
+	m.sessions = make([]*session, m.cfg.Groups)
+	for g := range m.sessions {
+		s := &session{
+			m:       m,
+			group:   uint32(g),
+			shard:   m.shards[g%len(m.shards)],
+			ind:     make(chan Indication, m.cfg.IndicationDepth),
+			waiters: make(map[mid.MID]chan struct{}),
+			obs:     rt.NewNodeObs(m.cfg.Metrics, m.cfg.Self, m.cfg.N, "group", strconv.Itoa(g)),
+		}
+		cb := core.Callbacks{
+			OnProcess: func(msg *causal.Message) {
+				s.processed.Add(1)
+				s.mu.Lock()
+				if ch, ok := s.waiters[msg.ID]; ok {
+					close(ch)
+					delete(s.waiters, msg.ID)
+				}
+				s.mu.Unlock()
+				select {
+				case s.ind <- Indication{Group: s.group, Msg: *msg}:
+				default: // slow consumer: indication dropped, like a full SAP queue
+					s.obs.IndicationDropped()
+				}
+			},
+			OnLeave: func(r core.LeaveReason) {
+				s.mu.Lock()
+				s.leftWith = &r
+				for _, ch := range s.waiters {
+					close(ch)
+				}
+				s.waiters = map[mid.MID]chan struct{}{}
+				s.mu.Unlock()
+			},
+		}
+		proc, err := core.NewProcess(m.cfg.Self, m.cfg.Config, tp(s), s.obs.Install(cb))
+		if err != nil {
+			return fmt.Errorf("topics: group %d: %w", g, err)
+		}
+		s.proc = proc
+		if m.cfg.BatchWindow > 0 {
+			s.coal = rt.NewCoalescer(m.cfg.BatchWindow, m.cfg.BatchMax, m.cfg.BatchBytes,
+				s.shard.enqueueWait, s.submitNow, s.obs.Coalesced)
+		}
+		m.sessions[g] = s
+	}
+	return nil
+}
+
+// Start launches the shard loops and, over UDP, the reader, the round
+// clock and the shared sender. Mesh nodes are driven by their cluster.
+func (m *MultiNode) Start() {
+	for _, sh := range m.shards {
+		sh := sh
+		m.wg.Add(1)
+		go func() { defer m.wg.Done(); sh.loop() }()
+	}
+	if m.conn != nil {
+		m.wg.Add(3)
+		go func() { defer m.wg.Done(); m.reader() }()
+		go func() { defer m.wg.Done(); m.clock() }()
+		go func() { defer m.wg.Done(); m.tx.loop() }()
+	}
+}
+
+// Stop halts every group and closes the socket. Submissions still pending
+// inside any group's open coalescer window are failed, never leaked.
+func (m *MultiNode) Stop() {
+	m.stopOnce.Do(func() {
+		close(m.stopCh)
+		if m.conn != nil {
+			m.conn.Close()
+		}
+		for _, s := range m.sessions {
+			s.coal.Stop()
+		}
+	})
+	m.wg.Wait()
+}
+
+// Groups returns how many groups this member hosts.
+func (m *MultiNode) Groups() int { return len(m.sessions) }
+
+// Shards returns how many shard loops carry them.
+func (m *MultiNode) Shards() int { return len(m.shards) }
+
+// LocalAddr returns the bound UDP address (useful with port 0 in tests),
+// or nil on a mesh node or when the address is unavailable.
+func (m *MultiNode) LocalAddr() *net.UDPAddr {
+	if m.conn == nil {
+		return nil
+	}
+	addr, _ := m.conn.LocalAddr().(*net.UDPAddr)
+	return addr
+}
+
+func (m *MultiNode) session(group uint32) (*session, error) {
+	if int64(group) >= int64(len(m.sessions)) {
+		return nil, fmt.Errorf("topics: group %d outside [0,%d)", group, len(m.sessions))
+	}
+	return m.sessions[group], nil
+}
+
+// Send submits a payload on one group and blocks until it is processed
+// locally (the urcgc-data Rq/Conf pair), or the context ends.
+func (m *MultiNode) Send(ctx context.Context, group uint32, payload []byte, deps mid.DepList) (mid.MID, error) {
+	s, err := m.session(group)
+	if err != nil {
+		return mid.MID{}, err
+	}
+	return s.send(ctx, payload, deps, false)
+}
+
+// SendCausal is Send with the conservative depend-on-everything-seen
+// labelling computed inside the owning shard.
+func (m *MultiNode) SendCausal(ctx context.Context, group uint32, payload []byte) (mid.MID, error) {
+	s, err := m.session(group)
+	if err != nil {
+		return mid.MID{}, err
+	}
+	return s.send(ctx, payload, nil, true)
+}
+
+// Indications returns one group's urcgc-data.Ind stream.
+func (m *MultiNode) Indications(group uint32) (<-chan Indication, error) {
+	s, err := m.session(group)
+	if err != nil {
+		return nil, err
+	}
+	return s.ind, nil
+}
+
+// Left reports whether and why this member halted itself in one group.
+// Groups leave independently: an exclusion in one group does not touch the
+// others.
+func (m *MultiNode) Left(group uint32) (core.LeaveReason, bool) {
+	s, err := m.session(group)
+	if err != nil {
+		return 0, false
+	}
+	return s.left()
+}
+
+// Snapshot runs fn with safe access to one group's protocol entity, on the
+// shard goroutine that owns it.
+func (m *MultiNode) Snapshot(ctx context.Context, group uint32, fn func(p *core.Process)) error {
+	s, err := m.session(group)
+	if err != nil {
+		return err
+	}
+	done := make(chan struct{})
+	select {
+	case s.shard.inbox <- func() { fn(s.proc); close(done) }:
+	case <-m.stopCh:
+		return errStopped
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	select {
+	case <-done:
+		return nil
+	case <-m.stopCh:
+		return errStopped
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// GroupStatus captures a race-free sample of one group's protocol state,
+// in the same shape the single-group runtimes serve.
+func (m *MultiNode) GroupStatus(ctx context.Context, group uint32) (rt.Status, error) {
+	var st rt.Status
+	err := m.Snapshot(ctx, group, func(p *core.Process) { st = rt.StatusOf(p) })
+	return st, err
+}
+
+// Status reports group 0 in the single-group shape, annotated with the
+// per-group processed counts, so the /status endpoint and urcgc-inspect
+// keep working unchanged against a multi-group node.
+func (m *MultiNode) Status(ctx context.Context) (rt.Status, error) {
+	st, err := m.GroupStatus(ctx, 0)
+	if err == nil {
+		st.GroupProcessed = m.GroupCounts()
+	}
+	return st, err
+}
+
+// GroupCounts returns the number of messages processed per group so far.
+// Safe from any goroutine, even after Stop — it is the shutdown summary's
+// data source.
+func (m *MultiNode) GroupCounts() []int64 {
+	out := make([]int64, len(m.sessions))
+	for i, s := range m.sessions {
+		out[i] = s.processed.Load()
+	}
+	return out
+}
+
+// warnf logs an operator-visible warning at a throttled rate, appending
+// how many similar warnings were suppressed in between.
+func (m *MultiNode) warnf(format string, args ...any) {
+	suppressed, ok := m.warnTh.Allow()
+	if !ok {
+		return
+	}
+	if suppressed > 0 {
+		format += fmt.Sprintf(" [+%d warnings suppressed]", suppressed)
+	}
+	m.cfg.Logf("topics[%d]: "+format, append([]any{int(m.cfg.Self)}, args...)...)
+}
+
+// shard is one loop goroutine owning the protocol entities of every group
+// hashed onto it. Everything a session's core.Process does happens on its
+// shard's goroutine, preserving the single-owner concurrency contract.
+type shard struct {
+	m     *MultiNode
+	inbox chan func()
+}
+
+func (sh *shard) loop() {
+	for {
+		select {
+		case <-sh.m.stopCh:
+			return
+		case fn := <-sh.inbox:
+			fn()
+		}
+	}
+}
+
+// enqueue hands a datagram closure to the shard loop; a full inbox drops
+// it, like any datagram. Reports whether it was accepted.
+func (sh *shard) enqueue(fn func()) bool {
+	select {
+	case sh.inbox <- fn:
+		return true
+	default:
+		if sh.m.mobs != nil {
+			sh.m.mobs.shardDrops.Inc()
+		}
+		return false
+	}
+}
+
+// enqueueWait hands a user command to the shard loop, blocking while the
+// inbox is full — commands are not datagrams and must not be lost.
+func (sh *shard) enqueueWait(fn func()) error {
+	select {
+	case sh.inbox <- fn:
+		return nil
+	case <-sh.m.stopCh:
+		return errStopped
+	}
+}
+
+// session is one group's protocol entity plus its user-facing plumbing:
+// confirm waiters, indication stream, coalescing sender, labeled metrics.
+type session struct {
+	m     *MultiNode
+	group uint32
+	shard *shard
+	proc  *core.Process
+	obs   *rt.NodeObs
+	coal  *rt.Coalescer // nil unless BatchWindow is set
+	ind   chan Indication
+
+	processed atomic.Int64
+
+	mu       sync.Mutex
+	waiters  map[mid.MID]chan struct{}
+	leftWith *core.LeaveReason
+}
+
+func (s *session) left() (core.LeaveReason, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.leftWith == nil {
+		return 0, false
+	}
+	return *s.leftWith, true
+}
+
+// submitNow runs one queued submission. Shard goroutine only.
+func (s *session) submitNow(sub *rt.Submission) {
+	var id mid.MID
+	var err error
+	if sub.Causal {
+		id, err = s.proc.SubmitCausal(sub.Payload)
+	} else {
+		id, err = s.proc.Submit(sub.Payload, sub.Deps)
+	}
+	if err == nil {
+		s.mu.Lock()
+		s.waiters[id] = sub.Confirm
+		s.mu.Unlock()
+	}
+	sub.Res <- rt.SubResult{ID: id, Err: err}
+}
+
+func (s *session) unwait(id mid.MID, ch chan struct{}) {
+	s.mu.Lock()
+	if s.waiters[id] == ch {
+		delete(s.waiters, id)
+	}
+	s.mu.Unlock()
+}
+
+func (s *session) send(ctx context.Context, payload []byte, deps mid.DepList, causal bool) (mid.MID, error) {
+	t0 := time.Now()
+	sub := &rt.Submission{
+		Payload: payload,
+		Deps:    deps,
+		Causal:  causal,
+		Res:     make(chan rt.SubResult, 1),
+		Confirm: make(chan struct{}),
+	}
+	if s.coal != nil {
+		s.coal.Add(sub)
+	} else if err := s.shard.enqueueWait(func() { s.submitNow(sub) }); err != nil {
+		return mid.MID{}, err
+	}
+	var r rt.SubResult
+	select {
+	case r = <-sub.Res:
+	case <-s.m.stopCh:
+		return mid.MID{}, errStopped
+	case <-ctx.Done():
+		return mid.MID{}, ctx.Err()
+	}
+	if r.Err != nil {
+		return mid.MID{}, r.Err
+	}
+	select {
+	case <-sub.Confirm:
+	case <-s.m.stopCh:
+		s.unwait(r.ID, sub.Confirm)
+		return r.ID, errStopped
+	case <-ctx.Done():
+		s.unwait(r.ID, sub.Confirm)
+		return r.ID, ctx.Err()
+	}
+	if _, left := s.left(); left {
+		return r.ID, fmt.Errorf("topics: member %d left group %d", s.m.cfg.Self, s.group)
+	}
+	s.obs.ObserveConfirm(t0)
+	return r.ID, nil
+}
+
+// clock drives every group's rounds off one free-running ticker (UDP mode;
+// the mesh cluster uses a lockstep barrier instead). A full shard inbox
+// skips that group's tick — an overload omission the protocol repairs.
+func (m *MultiNode) clock() {
+	t := time.NewTicker(m.cfg.RoundDuration)
+	defer t.Stop()
+	round := 0
+	for {
+		select {
+		case <-m.stopCh:
+			return
+		case <-t.C:
+			r := round
+			round++
+			for _, s := range m.sessions {
+				s := s
+				if !s.shard.enqueue(func() { s.obs.MarkRound(r); s.proc.StartRound(r) }) {
+					if m.mobs != nil {
+						m.mobs.ticksSkipped.Inc()
+					}
+					m.warnf("group %d round tick %d skipped: shard inbox full (overload omission)", s.group, r)
+				}
+			}
+		}
+	}
+}
+
+// reader is the single demultiplexing receiver: it owns the receive buffer
+// for the whole node and never lets it cross a goroutine boundary.
+func (m *MultiNode) reader() {
+	// One byte of slack past maxDatagram distinguishes an exactly-full
+	// datagram from one the kernel truncated to fit the buffer.
+	buf := make([]byte, maxDatagram+1)
+	for {
+		sz, _, err := m.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-m.stopCh:
+				return
+			default:
+				if m.mobs != nil {
+					m.mobs.dropReadErr.Inc()
+				}
+				m.warnf("socket read error (datagram lost): %v", err)
+				continue
+			}
+		}
+		m.demux(buf[:sz])
+	}
+}
+
+// demux validates one envelope frame, decodes the PDU into self-owned
+// memory, and dispatches it onto the owning group's shard. pkt is read
+// only during the call; the caller may reuse it immediately after —
+// the demux ownership rule that keeps the reader single-buffered.
+func (m *MultiNode) demux(pkt []byte) {
+	if m.mobs != nil {
+		m.mobs.recvDatagrams.Inc()
+		m.mobs.recvBytes.Add(int64(len(pkt)))
+	}
+	if len(pkt) > maxDatagram {
+		if m.mobs != nil {
+			m.mobs.dropOversize.Inc()
+		}
+		m.warnf("oversize datagram truncated past %d bytes: dropped", maxDatagram)
+		return
+	}
+	group, src, body, err := wire.ParseEnvelope(pkt)
+	if err != nil {
+		if m.mobs != nil {
+			m.mobs.dropEnvelope.Inc()
+		}
+		m.warnf("unparseable datagram (%d bytes): dropped", len(pkt))
+		return
+	}
+	if int64(group) >= int64(len(m.sessions)) {
+		if m.mobs != nil {
+			m.mobs.dropGroup.Inc()
+		}
+		m.warnf("datagram for unhosted group %d (hosting %d): dropped", group, len(m.sessions))
+		return
+	}
+	if src < 0 || int(src) >= m.cfg.N {
+		if m.mobs != nil {
+			m.mobs.dropBadSrc.Inc()
+		}
+		m.warnf("datagram claims member %d outside group of %d: dropped", src, m.cfg.N)
+		return
+	}
+	pdu, err := wire.Unmarshal(body)
+	if err != nil {
+		if m.mobs != nil {
+			m.mobs.dropDecode.Inc()
+		}
+		m.warnf("undecodable datagram for group %d: %v", group, err)
+		return
+	}
+	s := m.sessions[group]
+	s.shard.enqueue(func() { s.proc.Recv(src, pdu) })
+}
+
+// multiObs is the shared (not per-group) accounting: socket traffic, demux
+// verdicts and sender behavior. Nil when metrics are disabled.
+type multiObs struct {
+	recvDatagrams *obs.Counter
+	recvBytes     *obs.Counter
+	dropEnvelope  *obs.Counter
+	dropGroup     *obs.Counter
+	dropBadSrc    *obs.Counter
+	dropDecode    *obs.Counter
+	dropOversize  *obs.Counter
+	dropReadErr   *obs.Counter
+	shardDrops    *obs.Counter
+	ticksSkipped  *obs.Counter
+
+	txDatagrams *obs.Counter
+	txBytes     *obs.Counter
+	txErrors    *obs.Counter
+	txDropped   *obs.Counter
+	txBursts    *obs.Counter
+	txOversize  *obs.Counter
+}
+
+func newMultiObs(reg *obs.Registry) *multiObs {
+	if reg == nil {
+		return nil
+	}
+	return &multiObs{
+		recvDatagrams: reg.Counter("topics_recv_datagrams_total"),
+		recvBytes:     reg.Counter("topics_recv_bytes_total"),
+		dropEnvelope:  reg.Counter("topics_drop_envelope_total"),
+		dropGroup:     reg.Counter("topics_drop_group_total"),
+		dropBadSrc:    reg.Counter("topics_drop_badsrc_total"),
+		dropDecode:    reg.Counter("topics_drop_decode_total"),
+		dropOversize:  reg.Counter("topics_drop_oversize_total"),
+		dropReadErr:   reg.Counter("topics_drop_readerr_total"),
+		shardDrops:    reg.Counter("topics_shard_dropped_total"),
+		ticksSkipped:  reg.Counter("topics_ticks_skipped_total"),
+		txDatagrams:   reg.Counter("topics_send_datagrams_total"),
+		txBytes:       reg.Counter("topics_send_bytes_total"),
+		txErrors:      reg.Counter("topics_send_errors_total"),
+		txDropped:     reg.Counter("topics_send_dropped_total"),
+		txBursts:      reg.Counter("topics_send_bursts_total"),
+		txOversize:    reg.Counter("topics_send_oversize_total"),
+	}
+}
+
+// checkSize rejects a frame no receiver would accept, at the sender where
+// the operator can act on it.
+func (m *MultiNode) checkSize(frame []byte, pdu wire.PDU) bool {
+	if len(frame) <= maxDatagram {
+		return true
+	}
+	if m.mobs != nil {
+		m.mobs.txOversize.Inc()
+	}
+	m.warnf("oversize %v frame (%d bytes > %d): dropped before send", pdu.Kind(), len(frame), maxDatagram)
+	return false
+}
+
+// groupTransport frames one group's PDUs with the group-id envelope and
+// hands them to the shared sender. Runs on the group's shard goroutine.
+type groupTransport struct{ s *session }
+
+// frame reserves the envelope up front in one pooled buffer so the PDU
+// marshals directly behind it. The sender owns the result until release.
+func (t groupTransport) frame(pdu wire.PDU) ([]byte, error) {
+	buf := wire.GetBuf(wire.EnvelopeSize(t.s.group) + pdu.EncodedSize())[:0]
+	buf = wire.AppendEnvelope(buf, t.s.group, t.s.m.cfg.Self)
+	return wire.MarshalAppend(buf, pdu)
+}
+
+func (t groupTransport) Send(dst mid.ProcID, pdu wire.PDU) {
+	m := t.s.m
+	if dst == m.cfg.Self || dst < 0 || int(dst) >= m.cfg.N {
+		return
+	}
+	frame, err := t.frame(pdu)
+	if err != nil || !m.checkSize(frame, pdu) {
+		wire.PutBuf(frame)
+		return
+	}
+	m.tx.push(txPacket{dst: dst, frame: frame})
+}
+
+// Broadcast marshals the PDU exactly once; every destination's packet
+// shares the same refcounted buffer, released after the last write.
+func (t groupTransport) Broadcast(pdu wire.PDU) {
+	m := t.s.m
+	frame, err := t.frame(pdu)
+	if err != nil || !m.checkSize(frame, pdu) {
+		wire.PutBuf(frame)
+		return
+	}
+	sh := &sharedFrame{buf: frame}
+	sh.refs.Store(1) // the sender's own hold, released after the fan-out
+	for i := 0; i < m.cfg.N; i++ {
+		dst := mid.ProcID(i)
+		if dst == m.cfg.Self {
+			continue
+		}
+		sh.refs.Add(1)
+		m.tx.push(txPacket{dst: dst, frame: frame, sh: sh})
+	}
+	sh.release()
+}
+
+// sharedFrame is a pooled wire buffer fanned out to several destinations:
+// the last reference released returns it to the pool.
+type sharedFrame struct {
+	buf  []byte
+	refs atomic.Int32
+}
+
+func (s *sharedFrame) release() {
+	if s.refs.Add(-1) == 0 {
+		wire.PutBuf(s.buf)
+	}
+}
+
+// txPacket is one outgoing datagram in the shared sender's queue. A nil sh
+// means the queue owns frame outright; otherwise the packet holds one
+// reference on the shared buffer.
+type txPacket struct {
+	dst   mid.ProcID
+	frame []byte
+	sh    *sharedFrame
+}
+
+func (p txPacket) done() {
+	if p.sh != nil {
+		p.sh.release()
+	} else {
+		wire.PutBuf(p.frame)
+	}
+}
+
+// txBurstMax is how many queued datagrams one sendmmsg may carry. It also
+// bounds how much the shared sender drains per wakeup on the fallback path.
+const txBurstMax = 16
+
+// txSender is the shared outgoing path: every group's shard loops feed it
+// framed datagrams through one bounded queue, and it ships them in
+// mixed-group, mixed-destination sendmmsg bursts (single writes where the
+// platform or kernel lacks the syscall). A full queue drops the datagram —
+// an omission the protocol repairs — so shard loops never block on the
+// socket.
+type txSender struct {
+	m     *MultiNode
+	ch    chan txPacket
+	burst *txBurst // nil where sendmmsg is unavailable
+	batch []txPacket
+}
+
+func newTxSender(m *MultiNode) *txSender {
+	return &txSender{
+		m:     m,
+		ch:    make(chan txPacket, m.cfg.TxDepth),
+		burst: newTxBurst(m),
+		batch: make([]txPacket, 0, txBurstMax),
+	}
+}
+
+// push queues one datagram for the shared sender. Never blocks: a full
+// queue drops the datagram and releases its buffer.
+func (t *txSender) push(p txPacket) {
+	select {
+	case t.ch <- p:
+	default:
+		p.done()
+		if t.m.mobs != nil {
+			t.m.mobs.txDropped.Inc()
+		}
+	}
+}
+
+func (t *txSender) loop() {
+	for {
+		var p txPacket
+		select {
+		case <-t.m.stopCh:
+			t.drain()
+			return
+		case p = <-t.ch:
+		}
+		t.batch = append(t.batch[:0], p)
+	fill:
+		for len(t.batch) < txBurstMax {
+			select {
+			case q := <-t.ch:
+				t.batch = append(t.batch, q)
+			default:
+				break fill
+			}
+		}
+		t.ship(t.batch)
+	}
+}
+
+// ship writes one drained batch: a multi-destination sendmmsg burst when
+// available, per-datagram writes otherwise. Buffers release afterwards.
+func (t *txSender) ship(batch []txPacket) {
+	if !t.burst.send(t.m, batch) {
+		for _, p := range batch {
+			t.m.writeOne(p.dst, p.frame)
+		}
+	} else if t.m.mobs != nil {
+		t.m.mobs.txBursts.Inc()
+	}
+	for _, p := range batch {
+		p.done()
+	}
+}
+
+// drain releases whatever was still queued at shutdown.
+func (t *txSender) drain() {
+	for {
+		select {
+		case p := <-t.ch:
+			p.done()
+		default:
+			return
+		}
+	}
+}
+
+// writeOne ships one datagram with a classic write and accounts for it.
+func (m *MultiNode) writeOne(dst mid.ProcID, frame []byte) {
+	if _, err := m.conn.WriteToUDP(frame, m.peers[dst]); err != nil {
+		// Loss is an omission the protocol repairs; count it anyway.
+		if m.mobs != nil {
+			m.mobs.txErrors.Inc()
+		}
+		return
+	}
+	if m.mobs != nil {
+		m.mobs.txDatagrams.Inc()
+		m.mobs.txBytes.Add(int64(len(frame)))
+	}
+}

@@ -1,0 +1,7 @@
+//go:build linux && amd64
+
+package topics
+
+// sendmmsg(2) syscall number on linux/amd64; the syscall package predates
+// the syscall and does not export it.
+const sysSENDMMSG = 307

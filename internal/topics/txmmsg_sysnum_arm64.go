@@ -1,0 +1,6 @@
+//go:build linux && arm64
+
+package topics
+
+// sendmmsg(2) syscall number on linux/arm64.
+const sysSENDMMSG = 269

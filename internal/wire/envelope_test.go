@@ -1,0 +1,96 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"urcgc/internal/causal"
+	"urcgc/internal/mid"
+)
+
+// TestEnvelopeGroupZeroByteIdentical pins the wire-compat guarantee: a
+// group-0 frame built through the envelope helpers is byte-identical to the
+// pre-group framing ([src:4][marshaled PDU]) for every PDU kind the UDP
+// runtime ships.
+func TestEnvelopeGroupZeroByteIdentical(t *testing.T) {
+	pdus := []PDU{
+		&Data{Msg: causal.Message{ID: mid.MID{Proc: 2, Seq: 9}, Payload: []byte("hello")}},
+		&DataBatch{Msgs: []causal.Message{
+			{ID: mid.MID{Proc: 1, Seq: 1}, Payload: []byte("a")},
+			{ID: mid.MID{Proc: 1, Seq: 2}, Deps: mid.DepList{{Proc: 0, Seq: 4}}, Payload: []byte("b")},
+		}},
+		&Recover{Requester: 3, Wants: []WantRange{{Proc: 1, From: 2, To: 5}}},
+	}
+	for _, pdu := range pdus {
+		// The historical construction, verbatim from the PR-6 udpTransport.
+		legacy := make([]byte, 4)
+		binary.BigEndian.PutUint32(legacy, uint32(mid.ProcID(2)))
+		legacy, err := MarshalAppend(legacy, pdu)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		framed, err := MarshalAppend(AppendEnvelope(nil, 0, 2), pdu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(legacy, framed) {
+			t.Fatalf("%v: group-0 envelope frame differs from legacy framing\nlegacy %x\n   new %x",
+				pdu.Kind(), legacy, framed)
+		}
+		if EnvelopeSize(0) != 4 {
+			t.Fatalf("EnvelopeSize(0) = %d, want 4", EnvelopeSize(0))
+		}
+	}
+}
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		group uint32
+		src   mid.ProcID
+	}{
+		{0, 0}, {0, 7}, {1, 0}, {1, 3}, {42, 2}, {MaxGroupID, 15},
+	} {
+		frame := AppendEnvelope(nil, tc.group, tc.src)
+		frame = append(frame, 0xAB, 0xCD)
+		if want := EnvelopeSize(tc.group) + 2; len(frame) != want {
+			t.Fatalf("group %d: frame length %d, want %d", tc.group, len(frame), want)
+		}
+		group, src, body, err := ParseEnvelope(frame)
+		if err != nil {
+			t.Fatalf("group %d src %d: %v", tc.group, tc.src, err)
+		}
+		if group != tc.group || src != tc.src {
+			t.Fatalf("round trip (%d, %d) -> (%d, %d)", tc.group, tc.src, group, src)
+		}
+		if !bytes.Equal(body, []byte{0xAB, 0xCD}) {
+			t.Fatalf("group %d: body %x", tc.group, body)
+		}
+	}
+}
+
+func TestEnvelopeRejectsMalformed(t *testing.T) {
+	for name, pkt := range map[string][]byte{
+		"empty":               nil,
+		"runt":                {1, 2, 3},
+		"long-form-truncated": {0x80, 0, 0, 1, 0},
+		"long-form-group0":    {0x80, 0, 0, 0, 0, 0, 0, 2},
+	} {
+		if _, _, _, err := ParseEnvelope(pkt); err == nil {
+			t.Errorf("%s: ParseEnvelope accepted %x", name, pkt)
+		}
+	}
+}
+
+// TestEnvelopeLegacyDropsGroupTagged documents the compatibility story in
+// the other direction: a single-group (legacy) receiver reading the first
+// word of a group-tagged frame as the source sees a negative member id and
+// drops the frame as bad-src rather than mis-decoding it.
+func TestEnvelopeLegacyDropsGroupTagged(t *testing.T) {
+	frame := AppendEnvelope(nil, 3, 1)
+	legacySrc := mid.ProcID(int32(binary.BigEndian.Uint32(frame[:4])))
+	if legacySrc >= 0 {
+		t.Fatalf("group-tagged frame reads as non-negative legacy src %d", legacySrc)
+	}
+}
