@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench bench-smoke bench-throughput bench-groups chaos-smoke chaos-soak inspect-smoke clean
+.PHONY: all build test race vet check bench bench-smoke bench-throughput bench-groups chaos-smoke chaos-soak inspect-smoke trace-smoke clean
 
 all: check
 
@@ -17,10 +17,11 @@ vet:
 # the real-time runtime (node loop, UDP reader, Status/Snapshot sampling),
 # the sharded multi-group runtime (shared-socket demux, shard loops, the
 # shared burst sender), the protocol core they drive, the flight recorder
-# and health evaluator (sampler goroutine vs concurrent readers), and the
-# cluster inspector (parallel probes against live nodes).
+# and health evaluator (sampler goroutine vs concurrent readers), the
+# cluster inspector (parallel probes against live nodes), and the
+# cross-node trace stitcher (parallel /trace collection).
 race:
-	$(GO) test -race ./internal/rt/... ./internal/topics/... ./internal/core/... ./internal/obs/... ./internal/health/... ./internal/inspect/...
+	$(GO) test -race ./internal/rt/... ./internal/topics/... ./internal/core/... ./internal/obs/... ./internal/health/... ./internal/inspect/... ./internal/stitch/...
 
 # check is the tier-1 gate: everything builds, vets clean, passes the
 # full suite, the concurrency-sensitive packages pass under -race, every
@@ -28,7 +29,7 @@ race:
 # upholds the uniform invariants under the race detector, and a live
 # three-member cluster inspects healthy end to end through the real
 # binaries.
-check: vet test race bench-smoke bench-throughput bench-groups chaos-smoke inspect-smoke
+check: vet test race bench-smoke bench-throughput bench-groups chaos-smoke inspect-smoke trace-smoke
 
 # inspect-smoke boots three urcgc-node processes, points urcgc-inspect at
 # their observability endpoints, and requires a healthy one-shot verdict —
@@ -36,6 +37,13 @@ check: vet test race bench-smoke bench-throughput bench-groups chaos-smoke inspe
 # cluster-wide divergence detector.
 inspect-smoke:
 	sh scripts/inspect_smoke.sh
+
+# trace-smoke boots a three-member two-group cluster with lifecycle
+# tracing on and requires urcgc-trace to stitch at least one cross-node
+# message timeline out of the members' /trace reports — the end-to-end
+# gate for per-group spans, /trace?group=N and the (group, MID) join.
+trace-smoke:
+	sh scripts/trace_smoke.sh
 
 # chaos-smoke is the CI chaos gate: a short seeded soak (one crash, one
 # healed partition, 1/100 omission bursts, background reordering and

@@ -5,7 +5,9 @@
 // then fans thousands of concurrent client sessions across the groups. Each
 // session loops: pick its group, Send, wait for the local confirm, record
 // the latency. On exit it prints aggregate confirmed msgs/s plus the
-// p50/p95/p99 confirm-latency quantiles.
+// p50/p95/p99 confirm-latency quantiles; -json emits the same results as
+// one machine-readable object instead, so load runs can be diffed across
+// changes like BENCH_BASELINE.json.
 //
 //	urcgc-load -n 3 -groups 8 -shards 8 -sessions 2000 -duration 10s
 //
@@ -16,6 +18,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -47,6 +50,7 @@ func main() {
 		payload  = flag.Int("payload", 64, "bytes per message")
 		mesh     = flag.Bool("mesh", false, "use the in-process mesh instead of loopback UDP sockets")
 		metrics  = flag.String("metrics", "", "HTTP address serving member 0's /metrics and /status while loading (empty disables)")
+		asJSON   = flag.Bool("json", false, "emit the results as one JSON object (msgs/s, quantiles, per-group counts)")
 		verbose  = flag.Bool("v", false, "log per-member runtime warnings")
 	)
 	flag.Parse()
@@ -85,16 +89,16 @@ func main() {
 			fmt.Fprintln(os.Stderr, "urcgc-load: metrics:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("member 0 observability at http://%s/metrics\n", ln.Addr())
+		fmt.Fprintf(progress(*asJSON), "member 0 observability at http://%s/metrics\n", ln.Addr())
 	}
 
 	transport := "udp"
 	if *mesh {
 		transport = "mesh"
 	}
-	fmt.Printf("cluster up: n=%d groups=%d shards=%d transport=%s round=%v batch-window=%v\n",
+	fmt.Fprintf(progress(*asJSON), "cluster up: n=%d groups=%d shards=%d transport=%s round=%v batch-window=%v\n",
 		*n, *groups, cluster.shards(), transport, *round, *batchWin)
-	fmt.Printf("driving %d sessions for %v...\n", *sessions, *duration)
+	fmt.Fprintf(progress(*asJSON), "driving %d sessions for %v...\n", *sessions, *duration)
 
 	ctx, cancel := context.WithTimeout(context.Background(), *duration)
 	defer cancel()
@@ -140,23 +144,81 @@ func main() {
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 
 	total := confirmed.Load()
+	res := loadResult{
+		N:           *n,
+		Groups:      *groups,
+		Shards:      cluster.shards(),
+		Sessions:    *sessions,
+		Transport:   transport,
+		ElapsedMs:   float64(elapsed.Nanoseconds()) / 1e6,
+		Confirmed:   total,
+		Failed:      failed.Load(),
+		MsgsPerSec:  float64(total) / elapsed.Seconds(),
+		GroupCounts: cluster.groupCounts(),
+	}
+	if len(all) > 0 {
+		res.P50Ms = ms(quantile(all, 0.50))
+		res.P95Ms = ms(quantile(all, 0.95))
+		res.P99Ms = ms(quantile(all, 0.99))
+		res.MaxMs = ms(all[len(all)-1])
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintln(os.Stderr, "urcgc-load:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	fmt.Printf("\n--- urcgc-load results ---\n")
 	fmt.Printf("confirmed   %d msgs in %v\n", total, elapsed.Round(time.Millisecond))
-	fmt.Printf("aggregate   %.0f msgs/s across %d groups\n",
-		float64(total)/elapsed.Seconds(), *groups)
-	if f := failed.Load(); f > 0 {
-		fmt.Printf("failed      %d sends\n", f)
+	fmt.Printf("aggregate   %.0f msgs/s across %d groups\n", res.MsgsPerSec, *groups)
+	if res.Failed > 0 {
+		fmt.Printf("failed      %d sends\n", res.Failed)
 	}
 	if len(all) > 0 {
 		fmt.Printf("confirm latency  p50 %v  p95 %v  p99 %v  max %v\n",
 			quantile(all, 0.50), quantile(all, 0.95), quantile(all, 0.99), all[len(all)-1])
 	}
-	counts := cluster.groupCounts()
 	fmt.Printf("per-group processed at member 0:")
-	for g, c := range counts {
+	for g, c := range res.GroupCounts {
 		fmt.Printf(" g%d=%d", g, c)
 	}
 	fmt.Println()
+}
+
+// loadResult is the -json shape: one flat object per run so results diff
+// cleanly across changes, BENCH_BASELINE.json style. Latencies are
+// milliseconds to match the baseline file's convention.
+type loadResult struct {
+	N           int     `json:"n"`
+	Groups      int     `json:"groups"`
+	Shards      int     `json:"shards"`
+	Sessions    int     `json:"sessions"`
+	Transport   string  `json:"transport"`
+	ElapsedMs   float64 `json:"elapsed_ms"`
+	Confirmed   int64   `json:"confirmed"`
+	Failed      int64   `json:"failed"`
+	MsgsPerSec  float64 `json:"msgs_per_sec"`
+	P50Ms       float64 `json:"p50_ms"`
+	P95Ms       float64 `json:"p95_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	MaxMs       float64 `json:"max_ms"`
+	GroupCounts []int64 `json:"group_counts_member0"`
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+// progress picks where human chatter goes: stderr under -json so stdout
+// stays one clean JSON object, stdout otherwise.
+func progress(asJSON bool) *os.File {
+	if asJSON {
+		return os.Stderr
+	}
+	return os.Stdout
 }
 
 // quantile reads the q-th quantile from an ascending-sorted sample.

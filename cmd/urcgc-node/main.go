@@ -15,7 +15,11 @@
 // lines go to group 0 unless prefixed "<g>:", chatter rotates across
 // groups, printed messages carry a [gN] tag, and the shutdown summary and
 // /status include the per-group processed counts. Group 0's frames stay
-// wire-compatible with single-group members.
+// wire-compatible with single-group members. The observability surface
+// grows the group dimension with it: /healthz aggregates one rule set per
+// group (503s name the degraded {group, rule, reason} triples), /trace
+// serves every group's spans (filter with ?group=N), and the per-group
+// series carry a group label on /metrics and /timeseries.
 //
 // The node is observable while it runs: -metrics (default 127.0.0.1:0)
 // binds an HTTP listener serving
@@ -71,8 +75,9 @@ type member struct {
 	send        func(ctx context.Context, group uint32, payload []byte) (mid.MID, error)
 	indications <-chan topics.Indication
 	left        func(group uint32) (core.LeaveReason, bool)
-	lifecycle   func() *lifecycle.Tracer // nil tracer when tracing is off
-	groupCounts func() []int64           // nil for single-group members
+	lifecycle   func() *lifecycle.Tracer   // nil tracer when tracing is off
+	lifecycles  func() []*lifecycle.Tracer // multi-group members only, indexed by group
+	groupCounts func() []int64             // nil for single-group members
 }
 
 func main() {
@@ -85,7 +90,7 @@ func main() {
 		round     = flag.Duration("round", 20*time.Millisecond, "round duration")
 		chatter   = flag.Duration("chatter", 0, "generate a synthetic message this often (0 = stdin only)")
 		metrics   = flag.String("metrics", "127.0.0.1:0", "HTTP address for /metrics, /status, /healthz, /timeseries, /events, /trace and /debug/* (empty disables)")
-		traceSlow = flag.Duration("trace-slow", time.Second, "flag a message stuck waiting longer than this on /trace (0 disables lifecycle tracing; single-group only)")
+		traceSlow = flag.Duration("trace-slow", time.Second, "flag a message stuck waiting longer than this on /trace (0 disables lifecycle tracing)")
 		sample    = flag.Duration("sample", time.Second, "flight-recorder sampling interval for /timeseries and /healthz (0 disables)")
 		window    = flag.Int("window", 512, "flight-recorder ring length: samples of history retained")
 		batchWin  = flag.Duration("batch-window", 0, "coalesce submissions arriving within this window into one DataBatch broadcast (0 disables batching)")
@@ -116,7 +121,7 @@ func main() {
 		err  error
 	)
 	if *groups > 1 {
-		node, err = newMultiMember(cfg, addrs, *self, *groups, *shards, *round, *batchWin, reg)
+		node, err = newMultiMember(cfg, addrs, *self, *groups, *shards, *round, *batchWin, *traceSlow, reg)
 	} else {
 		node, err = newSingleMember(cfg, addrs, *self, *round, *batchWin, *traceSlow, reg)
 	}
@@ -135,19 +140,28 @@ func main() {
 	var flight *obs.Flight
 	if *metrics != "" {
 		var evaluator *health.Evaluator
+		var multiEval *health.MultiEvaluator
 		if *sample > 0 {
 			flight = obs.NewFlight(reg, obs.FlightOptions{Interval: *sample, Cap: *window})
-			evaluator = health.NewEvaluator(flight, strconv.Itoa(*self), health.Thresholds{})
+			if *groups > 1 {
+				// One rule set per hosted group over the group-labeled
+				// series: /healthz 503s name the degraded groups.
+				multiEval = health.NewMultiEvaluator(flight, strconv.Itoa(*self), *groups, health.Thresholds{})
+			} else {
+				evaluator = health.NewEvaluator(flight, strconv.Itoa(*self), health.Thresholds{})
+			}
 			flight.Start()
 		}
 		reg.PublishExpvar("urcgc")
 		mux := nodehttp.Mux(nodehttp.Options{
-			Registry:  reg,
-			Flight:    flight,
-			Health:    evaluator,
-			Status:    node.status,
-			Lifecycle: node.lifecycle,
-			Pprof:     true,
+			Registry:        reg,
+			Flight:          flight,
+			Health:          evaluator,
+			MultiHealth:     multiEval,
+			Status:          node.status,
+			Lifecycle:       node.lifecycle,
+			LifecycleGroups: node.lifecycles,
+			Pprof:           true,
 		})
 		ln, err := nodehttp.Serve(*metrics, mux)
 		if err != nil {
@@ -176,6 +190,14 @@ func main() {
 			if c := tr.Counts(); c.Completed > 0 {
 				fmt.Printf("--- slowest completed message spans (of %d) ---\n", c.Completed)
 				tr.WriteSlowest(os.Stdout, 5)
+			}
+		}
+		if node.lifecycles != nil {
+			for g, tr := range node.lifecycles() {
+				if c := tr.Counts(); c.Completed > 0 {
+					fmt.Printf("--- group %d slowest completed message spans (of %d) ---\n", g, c.Completed)
+					tr.WriteSlowest(os.Stdout, 5)
+				}
 			}
 		}
 		if evs := reg.Events().Events(); len(evs) > 0 {
@@ -331,7 +353,11 @@ func newSingleMember(cfg core.Config, addrs []string, self int,
 }
 
 func newMultiMember(cfg core.Config, addrs []string, self, groups, shards int,
-	round, batchWin time.Duration, reg *obs.Registry) (*member, error) {
+	round, batchWin, traceSlow time.Duration, reg *obs.Registry) (*member, error) {
+	var lcOpts *lifecycle.Options
+	if traceSlow > 0 {
+		lcOpts = &lifecycle.Options{SlowThreshold: traceSlow}
+	}
 	n, err := topics.NewMultiNode(topics.Config{
 		Config:        cfg,
 		Groups:        groups,
@@ -341,6 +367,7 @@ func newMultiMember(cfg core.Config, addrs []string, self, groups, shards int,
 		RoundDuration: round,
 		BatchWindow:   batchWin,
 		Metrics:       reg,
+		Lifecycle:     lcOpts,
 		Logf:          log.Printf,
 	})
 	if err != nil {
@@ -381,6 +408,7 @@ func newMultiMember(cfg core.Config, addrs []string, self, groups, shards int,
 			return reason, ok
 		},
 		lifecycle:   func() *lifecycle.Tracer { return nil },
+		lifecycles:  n.Lifecycles,
 		groupCounts: n.GroupCounts,
 	}, nil
 }

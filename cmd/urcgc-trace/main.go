@@ -1,0 +1,70 @@
+// Command urcgc-trace stitches one cross-node timeline per message out of
+// the /trace lifecycle reports every member serves. Point it at the
+// -metrics addresses of the cluster:
+//
+//	urcgc-trace -nodes 127.0.0.1:9100,127.0.0.1:9101,127.0.0.1:9102
+//
+// Spans are joined by (group, MID) — each group is its own sequence
+// space — so one invocation covers every hosted group of a multi-group
+// member; -group restricts the sweep to one group. The default text
+// report lists the top -top slowest messages with the per-member
+// broadcast→deliver skew, and flags messages stuck in a causal wait with
+// the member and dependency MID that block them. -json emits the full
+// stitched report instead.
+//
+// The exit code is 0 on success, 1 when fewer than -min messages could be
+// stitched (the smoke test's guard), 2 on usage errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"urcgc/internal/stitch"
+)
+
+func main() {
+	var (
+		nodes   = flag.String("nodes", "", "comma-separated observability addresses of the members (required)")
+		group   = flag.Int("group", -1, "restrict to one group id (-1 = every hosted group)")
+		top     = flag.Int("top", 10, "how many of the slowest stitched messages to print")
+		slow    = flag.Int("slow", 32, "in-flight spans requested per node")
+		recent  = flag.Int("recent", 32, "completed spans requested per node")
+		timeout = flag.Duration("timeout", 3*time.Second, "per-request HTTP timeout")
+		asJSON  = flag.Bool("json", false, "emit the stitched report as JSON")
+		minMsgs = flag.Int("min", 0, "exit 1 unless at least this many messages were stitched")
+	)
+	flag.Parse()
+	if *nodes == "" {
+		fmt.Fprintln(os.Stderr, "urcgc-trace: -nodes is required")
+		os.Exit(2)
+	}
+
+	collected := stitch.Collect(stitch.Config{
+		Nodes:   strings.Split(*nodes, ","),
+		Group:   *group,
+		Slow:    *slow,
+		Recent:  *recent,
+		Timeout: *timeout,
+	})
+	report := stitch.Stitch(collected)
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(os.Stderr, "urcgc-trace:", err)
+			os.Exit(2)
+		}
+	} else {
+		report.Write(os.Stdout, *top)
+	}
+	if len(report.Messages) < *minMsgs {
+		fmt.Fprintf(os.Stderr, "urcgc-trace: stitched %d messages, need %d\n", len(report.Messages), *minMsgs)
+		os.Exit(1)
+	}
+}

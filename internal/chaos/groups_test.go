@@ -1,0 +1,37 @@
+package chaos
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestSmokeSoakGroupPartition is the multi-group acceptance soak: cut one
+// group's traffic to one member of a three-group cluster and require that
+// exactly that group's per-group health verdict degrades and recovers,
+// while the co-hosted groups on the same nodes and transport stay healthy
+// for the whole run.
+func TestSmokeSoakGroupPartition(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second live run")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	rep, err := RunGroups(ctx, GroupsConfig{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", rep)
+	if !rep.HealthyBeforeFault {
+		t.Fatal("cluster never reached an all-healthy baseline with traffic in every group")
+	}
+	if _, ok := rep.Degraded[rep.Target]; !ok {
+		t.Fatalf("partitioned group %d never degraded: %v", rep.Target, rep.Degraded)
+	}
+	if !rep.OnlyTargetDegraded() {
+		t.Fatalf("degradation leaked beyond group %d: %v", rep.Target, rep.Degraded)
+	}
+	if !rep.Recovered {
+		t.Fatal("per-group verdicts never recovered after the heal")
+	}
+}

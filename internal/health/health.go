@@ -26,6 +26,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 
 	"urcgc/internal/obs"
@@ -96,7 +97,10 @@ type Reason struct {
 
 // Status is one node's health verdict, the JSON shape of /healthz.
 type Status struct {
-	Node    string   `json:"node"`
+	Node string `json:"node"`
+	// Group is set when the verdict covers one hosted group of a
+	// multi-group member rather than the whole node.
+	Group   *int     `json:"group,omitempty"`
 	Healthy bool     `json:"healthy"`
 	Samples int64    `json:"samples"`
 	Reasons []Reason `json:"reasons,omitempty"`
@@ -152,6 +156,7 @@ func stuckNonEmpty(vals []int64, window int) bool {
 type Evaluator struct {
 	flight *obs.Flight
 	node   string
+	group  int // hosted-group id, or -1 when the verdict is whole-node
 	th     Thresholds
 
 	mu                 sync.Mutex
@@ -165,9 +170,24 @@ type Evaluator struct {
 // (the "node" label value used by the rt instruments, e.g. "0").
 func NewEvaluator(f *obs.Flight, node string, th Thresholds) *Evaluator {
 	l := func(name string) string { return obs.Labeled(name, "node", node) }
+	return newEvaluator(f, node, -1, th, l)
+}
+
+// NewGroupEvaluator builds an evaluator for one hosted group of a
+// multi-group member: same rules, read from the group-labeled series the
+// topics runtime registers (label order matches rt.NewNodeObs — node
+// first, then group).
+func NewGroupEvaluator(f *obs.Flight, node string, group int, th Thresholds) *Evaluator {
+	g := strconv.Itoa(group)
+	l := func(name string) string { return obs.Labeled(name, "node", node, "group", g) }
+	return newEvaluator(f, node, group, th, l)
+}
+
+func newEvaluator(f *obs.Flight, node string, group int, th Thresholds, l func(string) string) *Evaluator {
 	return &Evaluator{
 		flight:     f,
 		node:       node,
+		group:      group,
 		th:         th.withDefaults(),
 		sDecision:  l("core_decision_subrun"),
 		sHistory:   l("core_history_len"),
@@ -182,6 +202,10 @@ func (e *Evaluator) Eval() Status {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	st := Status{Node: e.node, Healthy: true, Samples: e.flight.Samples()}
+	if e.group >= 0 {
+		g := e.group
+		st.Group = &g
+	}
 
 	// The widest window any rule needs bounds every Tail read.
 	max := e.th.TokenStallSamples

@@ -1,0 +1,74 @@
+package health
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"urcgc/internal/obs"
+)
+
+// GroupReason is one unhealthy-group explanation in an aggregate verdict:
+// the {group, rule, reason} triple /healthz lists on a 503.
+type GroupReason struct {
+	Group  int    `json:"group"`
+	Rule   string `json:"rule"`
+	Reason string `json:"reason"`
+}
+
+// MultiStatus is a multi-group member's aggregate health verdict: the
+// whole node is healthy iff every hosted group is. Groups carries the
+// per-group verdicts; Reasons flattens every firing rule with its group.
+type MultiStatus struct {
+	Node    string        `json:"node"`
+	Healthy bool          `json:"healthy"`
+	Samples int64         `json:"samples"`
+	Groups  []Status      `json:"groups"`
+	Reasons []GroupReason `json:"reasons,omitempty"`
+}
+
+// MultiEvaluator aggregates one per-group Evaluator per hosted group.
+// Each group's rules read only that group's labeled flight series, so a
+// partition that stalls one group's token degrades exactly that group's
+// verdict while the others stay healthy.
+type MultiEvaluator struct {
+	node  string
+	evals []*Evaluator
+}
+
+// NewMultiEvaluator builds one group evaluator per hosted group
+// (0..groups-1) over the shared flight recorder.
+func NewMultiEvaluator(f *obs.Flight, node string, groups int, th Thresholds) *MultiEvaluator {
+	m := &MultiEvaluator{node: node}
+	for g := 0; g < groups; g++ {
+		m.evals = append(m.evals, NewGroupEvaluator(f, node, g, th))
+	}
+	return m
+}
+
+// Eval applies every group's rules to the current flight window.
+func (m *MultiEvaluator) Eval() MultiStatus {
+	st := MultiStatus{Node: m.node, Healthy: true}
+	for _, e := range m.evals {
+		gs := e.Eval()
+		st.Samples = gs.Samples
+		st.Groups = append(st.Groups, gs)
+		for _, r := range gs.Reasons {
+			st.Reasons = append(st.Reasons, GroupReason{Group: e.group, Rule: r.Rule, Reason: r.Detail})
+		}
+	}
+	st.Healthy = len(st.Reasons) == 0
+	return st
+}
+
+// Handler serves the aggregate verdict as JSON: 200 when every group is
+// healthy, 503 listing the {group, rule, reason} triples when any is not.
+func (m *MultiEvaluator) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		st := m.Eval()
+		w.Header().Set("Content-Type", "application/json")
+		if !st.Healthy {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		_ = json.NewEncoder(w).Encode(st)
+	})
+}

@@ -1,0 +1,110 @@
+package health
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+
+	"urcgc/internal/obs"
+)
+
+// multiHarness drives a Flight for a node hosting several groups, each
+// with its own labeled series (the shape topics.MultiNode registers).
+type multiHarness struct {
+	flight   *obs.Flight
+	eval     *MultiEvaluator
+	decision []*obs.Gauge
+}
+
+func newMultiHarness(t *testing.T, groups int, th Thresholds) *multiHarness {
+	t.Helper()
+	reg := obs.New()
+	f := obs.NewFlight(reg, obs.FlightOptions{Cap: 64})
+	h := &multiHarness{flight: f, eval: NewMultiEvaluator(f, "0", groups, th)}
+	for g := 0; g < groups; g++ {
+		l := func(name string) string {
+			return obs.Labeled(name, "node", "0", "group", strconv.Itoa(g))
+		}
+		h.decision = append(h.decision, reg.Gauge(l("core_decision_subrun")))
+		reg.Gauge(l("core_history_len"))
+		reg.Gauge(l("core_waiting_len"))
+		reg.Counter(l("rt_processed_total"))
+		reg.Gauge(l("core_stable_sum"))
+	}
+	return h
+}
+
+// TestMultiEvaluatorIsolatesGroups stalls group 1's token while groups 0
+// and 2 keep circulating decisions: the aggregate must go unhealthy with
+// exactly one {group, rule} triple, and per-group verdicts must disagree.
+func TestMultiEvaluatorIsolatesGroups(t *testing.T) {
+	th := Thresholds{TokenStallSamples: 4}
+	h := newMultiHarness(t, 3, th)
+	for i := 0; i < 8; i++ {
+		h.decision[0].Add(1)
+		if i < 3 {
+			h.decision[1].Add(1) // group 1's token freezes after sample 3
+		}
+		h.decision[2].Add(1)
+		h.flight.Sample()
+	}
+	st := h.eval.Eval()
+	if st.Healthy {
+		t.Fatalf("stalled group not flagged: %+v", st)
+	}
+	if len(st.Reasons) != 1 || st.Reasons[0].Group != 1 || st.Reasons[0].Rule != "token-stall" {
+		t.Fatalf("reasons = %+v, want one token-stall on group 1", st.Reasons)
+	}
+	if len(st.Groups) != 3 {
+		t.Fatalf("groups = %d, want 3", len(st.Groups))
+	}
+	for g, gs := range st.Groups {
+		if gs.Group == nil || *gs.Group != g {
+			t.Fatalf("group %d verdict missing group tag: %+v", g, gs)
+		}
+		if wantHealthy := g != 1; gs.Healthy != wantHealthy {
+			t.Fatalf("group %d healthy = %v, want %v", g, gs.Healthy, wantHealthy)
+		}
+	}
+
+	// Recovery: the partitioned group's token resumes.
+	h.decision[1].Add(1)
+	h.flight.Sample()
+	if st := h.eval.Eval(); !st.Healthy {
+		t.Fatalf("aggregate did not recover: %+v", st.Reasons)
+	}
+}
+
+func TestMultiHandlerStatusCodes(t *testing.T) {
+	th := Thresholds{TokenStallSamples: 3}
+	h := newMultiHarness(t, 2, th)
+	for i := 0; i < 4; i++ {
+		h.decision[0].Add(1)
+		h.decision[1].Add(1)
+		h.flight.Sample()
+	}
+	rec := httptest.NewRecorder()
+	h.eval.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("healthy code = %d, body %s", rec.Code, rec.Body.String())
+	}
+	var st MultiStatus
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil || !st.Healthy || len(st.Groups) != 2 {
+		t.Fatalf("healthy body: %v %s", err, rec.Body.String())
+	}
+
+	for i := 0; i < 3; i++ {
+		h.decision[0].Add(1) // group 1 frozen
+		h.flight.Sample()
+	}
+	rec = httptest.NewRecorder()
+	h.eval.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 503 {
+		t.Fatalf("unhealthy code = %d", rec.Code)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil || st.Healthy ||
+		len(st.Reasons) != 1 || st.Reasons[0].Group != 1 {
+		t.Fatalf("unhealthy body: %v %s", err, rec.Body.String())
+	}
+}

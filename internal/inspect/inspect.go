@@ -112,6 +112,9 @@ type Problem struct {
 	// Kind is "unreachable", "left", "view-divergence", "token-stall",
 	// "frontier-skew", "progress-skew" or "node-unhealthy".
 	Kind string `json:"kind"`
+	// Group, when set, scopes the problem to one hosted group of a
+	// multi-group cluster; nil means whole-node.
+	Group *uint32 `json:"group,omitempty"`
 	// Nodes are the addresses involved (for frontier-skew, the laggards).
 	Nodes []string `json:"nodes,omitempty"`
 	// Detail elaborates with the numbers.
@@ -293,6 +296,91 @@ func skewProblem(probes []NodeProbe, threshold int64, kind, what string, value f
 	}}
 }
 
+// groupProblems re-applies the view-divergence and skew rules once per
+// hosted group of a multi-group cluster, reading each member's per-group
+// summary from Status.Groups. Whole-node checks stay in force (a whole
+// node losing the token is still whole-node news); the per-group pass is
+// what localizes a divergence to the one group it afflicts — one
+// partitioned group reads as that group's problem, not the node's.
+func groupProblems(probes []NodeProbe, cfg Config) []Problem {
+	ids := map[uint32]bool{}
+	for _, p := range probes {
+		if !p.Reachable || p.Status == nil {
+			continue
+		}
+		for _, gs := range p.Status.Groups {
+			ids[gs.Group] = true
+		}
+	}
+	if len(ids) == 0 {
+		return nil
+	}
+	order := make([]uint32, 0, len(ids))
+	for g := range ids {
+		order = append(order, g)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+
+	var out []Problem
+	for _, gid := range order {
+		gid := gid
+		// Project each member's per-group summary onto a probe copy so the
+		// whole-node rules apply unchanged to the one group's numbers.
+		var sub []NodeProbe
+		masks := map[string][]string{}
+		for _, p := range probes {
+			if !p.Reachable || p.Status == nil {
+				continue
+			}
+			for _, gs := range p.Status.Groups {
+				if gs.Group != gid {
+					continue
+				}
+				q := p
+				q.StableSum = gs.StableSum
+				q.ProcessedSum = gs.ProcessedSum
+				sub = append(sub, q)
+				if gs.Running {
+					m := maskString(gs.Alive)
+					masks[m] = append(masks[m], p.Addr)
+				}
+			}
+		}
+		if len(masks) > 1 {
+			keys := make([]string, 0, len(masks))
+			for m := range masks {
+				keys = append(keys, m)
+			}
+			sort.Strings(keys)
+			var parts []string
+			var nodes []string
+			for _, m := range keys {
+				sort.Strings(masks[m])
+				parts = append(parts, fmt.Sprintf("%s held by %s", m, strings.Join(masks[m], ",")))
+				nodes = append(nodes, masks[m]...)
+			}
+			g := gid
+			out = append(out, Problem{
+				Kind: "view-divergence", Group: &g, Nodes: nodes,
+				Detail: fmt.Sprintf("group %d: members disagree about who is alive: %s",
+					gid, strings.Join(parts, "; ")),
+			})
+		}
+		skews := append(
+			skewProblem(sub, cfg.FrontierSkew, "frontier-skew",
+				"stability frontier", func(p NodeProbe) int64 { return p.StableSum }),
+			skewProblem(sub, cfg.FrontierSkew, "progress-skew",
+				"processed count", func(p NodeProbe) int64 { return p.ProcessedSum })...)
+		for _, pr := range skews {
+			g := gid
+			pr.Group = &g
+			pr.Detail = fmt.Sprintf("group %d: %s", gid, pr.Detail)
+			out = append(out, pr)
+		}
+	}
+	return out
+}
+
 // diagnose applies the divergence rules to one round of probes.
 func diagnose(probes []NodeProbe, cfg Config) (problems []Problem, viewsAgree bool) {
 	viewsAgree = true
@@ -375,6 +463,16 @@ func diagnose(probes []NodeProbe, cfg Config) (problems []Problem, viewsAgree bo
 		"stability frontier", func(p NodeProbe) int64 { return p.StableSum })...)
 	problems = append(problems, skewProblem(probes, cfg.FrontierSkew, "progress-skew",
 		"processed count", func(p NodeProbe) int64 { return p.ProcessedSum })...)
+
+	// Per-group pass: multi-group members expose Status.Groups, and a
+	// divergence confined to one group is reported against that group.
+	perGroup := groupProblems(probes, cfg)
+	for _, p := range perGroup {
+		if p.Kind == "view-divergence" {
+			viewsAgree = false
+		}
+	}
+	problems = append(problems, perGroup...)
 
 	// Carry through each node's own verdict.
 	for _, p := range probes {

@@ -415,3 +415,85 @@ func TestSummaryLine(t *testing.T) {
 		t.Fatalf("unhealthy summary = %q", got)
 	}
 }
+
+// groupSummary builds one hosted group's summary for a multi-group fake.
+func groupSummary(group uint32, n int, processed int64, alive []bool) rt.GroupStatus {
+	if alive == nil {
+		alive = make([]bool, n)
+		for i := range alive {
+			alive[i] = true
+		}
+	}
+	return rt.GroupStatus{
+		Group: group, Running: true, Subrun: 40,
+		Alive:        alive,
+		ProcessedSum: processed,
+		StableSum:    processed,
+	}
+}
+
+// TestPerGroupProblems pins satellite behaviour: on multi-group members a
+// divergence confined to one group is reported against that group — with
+// the group id in the Problem JSON — while the healthy group and the
+// whole-node rules stay quiet.
+func TestPerGroupProblems(t *testing.T) {
+	mkStatus := func(id int, g1Processed int64, g1Alive []bool) rt.Status {
+		st := runningStatus(id, 3, 12)
+		st.Groups = []rt.GroupStatus{
+			groupSummary(0, 3, 200, nil),
+			groupSummary(1, 3, g1Processed, g1Alive),
+		}
+		return st
+	}
+	fakes := []*fakeNode{
+		newFakeNode(t, mkStatus(0, 200, nil)),
+		newFakeNode(t, mkStatus(1, 200, nil)),
+		// Member 2: group 1 is cut off — it stopped processing and its view
+		// dropped member 0 — while its group 0 stays in step.
+		newFakeNode(t, mkStatus(2, 10, []bool{false, true, true})),
+	}
+	r := collect(t, Config{Nodes: addrs(fakes)})
+	if r.Healthy {
+		t.Fatal("per-group divergence went undetected")
+	}
+	var sawView, sawSkew bool
+	for _, p := range r.Problems {
+		if p.Group == nil {
+			t.Fatalf("whole-node problem fired on a per-group fault: %+v", p)
+		}
+		if *p.Group != 1 {
+			t.Fatalf("problem against healthy group %d: %+v", *p.Group, p)
+		}
+		if !strings.Contains(p.Detail, "group 1") {
+			t.Fatalf("detail does not name the group: %q", p.Detail)
+		}
+		switch p.Kind {
+		case "view-divergence":
+			sawView = true
+		case "progress-skew":
+			sawSkew = true
+		}
+	}
+	if !sawView || !sawSkew {
+		t.Fatalf("want per-group view-divergence and progress-skew, got %v", problemKinds(r))
+	}
+	if r.ViewsAgree {
+		t.Fatal("per-group view divergence must clear ViewsAgree")
+	}
+
+	// The Problem JSON carries the group field.
+	raw, _ := json.Marshal(r.Problems[0])
+	if !strings.Contains(string(raw), `"group":1`) {
+		t.Fatalf("problem JSON lacks group: %s", raw)
+	}
+
+	// All groups in step: no problems.
+	healthy := collect(t, Config{Nodes: addrs([]*fakeNode{
+		newFakeNode(t, mkStatus(0, 200, nil)),
+		newFakeNode(t, mkStatus(1, 200, nil)),
+		newFakeNode(t, mkStatus(2, 200, nil)),
+	})})
+	if !healthy.Healthy {
+		t.Fatalf("healthy multi-group cluster flagged: %v", problemKinds(healthy))
+	}
+}

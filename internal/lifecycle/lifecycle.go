@@ -138,6 +138,7 @@ func (o Options) fill() Options {
 type Tracer struct {
 	opts   Options
 	node   mid.ProcID
+	group  int // hosted-group id, or -1 on single-group members
 	events *obs.EventLog
 
 	// Pre-resolved instruments; all nil when no registry was given.
@@ -169,9 +170,23 @@ type Tracer struct {
 // receives the stage-latency histograms and the watchdog counter (series
 // labeled with the node); its event log receives watchdog flags.
 func New(node mid.ProcID, n int, opts Options, reg *obs.Registry) *Tracer {
+	return newTracer(node, n, -1, opts, reg)
+}
+
+// NewGroup returns a tracer for member node of hosted group `group` on a
+// multi-group member: every instrument series carries node AND group labels
+// (matching the per-group series rt.NewNodeObs emits for internal/topics),
+// watchdog lines name the group, and Report carries it — the join key the
+// cross-node stitcher needs, since MIDs recur across groups.
+func NewGroup(node mid.ProcID, n int, group uint32, opts Options, reg *obs.Registry) *Tracer {
+	return newTracer(node, n, int(group), opts, reg)
+}
+
+func newTracer(node mid.ProcID, n, group int, opts Options, reg *obs.Registry) *Tracer {
 	t := &Tracer{
 		opts:    opts.fill(),
 		node:    node,
+		group:   group,
 		byID:    make(map[mid.MID]*Span),
 		decided: mid.NewSeqVector(n),
 		stable:  mid.NewSeqVector(n),
@@ -180,8 +195,11 @@ func New(node mid.ProcID, n int, opts Options, reg *obs.Registry) *Tracer {
 	t.ring = make([]*Span, t.opts.Capacity)
 	if reg != nil {
 		t.events = reg.Events()
-		nl := strconv.Itoa(int(node))
-		l := func(name string) string { return obs.Labeled(name, "node", nl) }
+		kv := []string{"node", strconv.Itoa(int(node))}
+		if group >= 0 {
+			kv = append(kv, "group", strconv.Itoa(group))
+		}
+		l := func(name string) string { return obs.Labeled(name, kv...) }
 		t.emitToProcess = reg.Histogram(l("lifecycle_emit_to_process_seconds"), obs.DurationBuckets)
 		t.waitlist = reg.Histogram(l("lifecycle_waitlist_seconds"), obs.DurationBuckets)
 		t.decision = reg.Histogram(l("lifecycle_decision_seconds"), obs.DurationBuckets)
@@ -189,10 +207,19 @@ func New(node mid.ProcID, n int, opts Options, reg *obs.Registry) *Tracer {
 		t.stabilityLag = make([]*obs.Histogram, n)
 		for q := range t.stabilityLag {
 			t.stabilityLag[q] = reg.Histogram(obs.Labeled(
-				"lifecycle_stability_lag_seconds", "node", nl, "sender", strconv.Itoa(q)), obs.DurationBuckets)
+				"lifecycle_stability_lag_seconds", append(kv, "sender", strconv.Itoa(q))...), obs.DurationBuckets)
 		}
 	}
 	return t
+}
+
+// Group returns the hosted-group id this tracer is tagged with, or -1 for
+// a single-group member's tracer. Nil-safe.
+func (t *Tracer) Group() int {
+	if t == nil {
+		return -1
+	}
+	return t.group
 }
 
 // get returns the span for id, creating it at now on first observation.
@@ -427,8 +454,13 @@ func (t *Tracer) Tick() {
 					blame = " (" + b + ")"
 				}
 			}
-			t.events.Addf("lifecycle: node=%d %v stuck waiting %v, blocked on %v%s",
-				t.node, f.id, f.waited.Round(time.Millisecond), f.blocking, blame)
+			if t.group >= 0 {
+				t.events.Addf("lifecycle: node=%d group=%d %v stuck waiting %v, blocked on %v%s",
+					t.node, t.group, f.id, f.waited.Round(time.Millisecond), f.blocking, blame)
+			} else {
+				t.events.Addf("lifecycle: node=%d %v stuck waiting %v, blocked on %v%s",
+					t.node, f.id, f.waited.Round(time.Millisecond), f.blocking, blame)
+			}
 		}
 	}
 }

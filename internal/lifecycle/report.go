@@ -22,6 +22,18 @@ type SpanView struct {
 	Discarded string `json:"discarded,omitempty"`
 	Stable    string `json:"stable,omitempty"`
 
+	// The same stamps as absolute unix nanoseconds, machine-joinable:
+	// the cross-node stitcher (internal/stitch) subtracts them across
+	// members' reports, which the date-less display strings cannot do.
+	FirstSeenNs int64 `json:"first_seen_ns,omitempty"`
+	GeneratedNs int64 `json:"generated_ns,omitempty"`
+	BroadcastNs int64 `json:"broadcast_ns,omitempty"`
+	WaitingNs   int64 `json:"waiting_ns,omitempty"`
+	DecidedNs   int64 `json:"decided_ns,omitempty"`
+	ProcessedNs int64 `json:"processed_ns,omitempty"`
+	DiscardedNs int64 `json:"discarded_ns,omitempty"`
+	StableNs    int64 `json:"stable_ns,omitempty"`
+
 	// AgeSeconds is how long an in-flight span has been tracked.
 	AgeSeconds float64 `json:"age_seconds,omitempty"`
 	// WaitSeconds is the waiting-list residence so far (or total).
@@ -39,6 +51,13 @@ func stamp(t time.Time) string {
 	return t.Format("15:04:05.000000")
 }
 
+func stampNs(t time.Time) int64 {
+	if t.IsZero() {
+		return 0
+	}
+	return t.UnixNano()
+}
+
 // View renders a span relative to now (for in-flight ages).
 func (s *Span) View(now time.Time) SpanView {
 	v := SpanView{
@@ -52,6 +71,15 @@ func (s *Span) View(now time.Time) SpanView {
 		Processed: stamp(s.ProcessedAt),
 		Discarded: stamp(s.DiscardedAt),
 		Stable:    stamp(s.StableAt),
+
+		FirstSeenNs: stampNs(s.FirstSeen),
+		GeneratedNs: stampNs(s.GeneratedAt),
+		BroadcastNs: stampNs(s.BroadcastAt),
+		WaitingNs:   stampNs(s.WaitingAt),
+		DecidedNs:   stampNs(s.DecidedAt),
+		ProcessedNs: stampNs(s.ProcessedAt),
+		DiscardedNs: stampNs(s.DiscardedAt),
+		StableNs:    stampNs(s.StableAt),
 	}
 	for _, b := range s.Blocking {
 		v.Blocking = append(v.Blocking, b.String())
@@ -78,12 +106,26 @@ func (s *Span) View(now time.Time) SpanView {
 // Report is the /trace payload: accounting, the slowest in-flight spans
 // (the watchdog's view), and the most recently completed ones.
 type Report struct {
-	Node          int        `json:"node"`
+	Node int `json:"node"`
+	// Group is the hosted-group id on a multi-group member, 0 for a
+	// single-group member (whose frames are wire-compatible with group 0).
+	// MIDs recur across groups — each group is an independent sequence
+	// space — so (group, mid) is the cross-node join key, not mid alone.
+	Group         int        `json:"group"`
 	Now           string     `json:"now"`
+	NowNs         int64      `json:"now_ns,omitempty"`
 	SlowThreshold string     `json:"slow_threshold"`
 	Counts        Counts     `json:"counts"`
 	Slowest       []SpanView `json:"slowest_in_flight,omitempty"`
 	Recent        []SpanView `json:"recent_completed,omitempty"`
+}
+
+// MultiReport is the /trace payload of a multi-group member when no group
+// filter is given: one Report per hosted group. The stitcher accepts both
+// shapes (the "groups" key discriminates).
+type MultiReport struct {
+	Node   int      `json:"node"`
+	Groups []Report `json:"groups"`
 }
 
 // Report assembles the export payload with up to slowN in-flight and
@@ -95,9 +137,15 @@ func (t *Tracer) Report(slowN, recentN int) Report {
 	}
 	t.Tick()
 	now := t.clock()
+	group := t.group
+	if group < 0 {
+		group = 0 // single-group members speak group 0 on the wire
+	}
 	r := Report{
 		Node:          int(t.node),
+		Group:         group,
 		Now:           stamp(now),
+		NowNs:         stampNs(now),
 		SlowThreshold: t.opts.SlowThreshold.String(),
 		Counts:        t.Counts(),
 	}

@@ -38,12 +38,21 @@ type Options struct {
 	Flight *obs.Flight
 	// Health, if set, backs /healthz.
 	Health *health.Evaluator
+	// MultiHealth, if set, backs /healthz with the per-group aggregate
+	// verdict of a multi-group member (503 lists {group, rule, reason}
+	// triples). Takes precedence over Health.
+	MultiHealth *health.MultiEvaluator
 	// Status, if set, backs /status. It must be safe to call from any
 	// goroutine (rt.Node.Status and rt.UDPNode.Status are).
 	Status func(ctx context.Context) (rt.Status, error)
 	// Lifecycle, if set, backs /trace; returning nil reports tracing
 	// disabled.
 	Lifecycle func() *lifecycle.Tracer
+	// LifecycleGroups, if set, backs /trace for a multi-group member: the
+	// slice is indexed by group id. `?group=N` serves that group's Report;
+	// without the parameter every group's report is wrapped in one
+	// MultiReport. Takes precedence over Lifecycle.
+	LifecycleGroups func() []*lifecycle.Tracer
 	// Pprof mounts /debug/vars and /debug/pprof.
 	Pprof bool
 	// StatusTimeout bounds one /status sample; 0 means 2s.
@@ -68,7 +77,9 @@ func Mux(o Options) *http.ServeMux {
 	if o.Flight != nil {
 		mux.Handle("/timeseries", o.Flight.Handler())
 	}
-	if o.Health != nil {
+	if o.MultiHealth != nil {
+		mux.Handle("/healthz", o.MultiHealth.Handler())
+	} else if o.Health != nil {
 		mux.Handle("/healthz", o.Health.Handler())
 	}
 	if o.Status != nil {
@@ -93,7 +104,37 @@ func Mux(o Options) *http.ServeMux {
 			WriteStatusText(w, st)
 		})
 	}
-	if o.Lifecycle != nil {
+	if o.LifecycleGroups != nil {
+		mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+			trs := o.LifecycleGroups()
+			if len(trs) == 0 {
+				http.Error(w, "lifecycle tracing disabled (-trace-slow 0)", http.StatusNotFound)
+				return
+			}
+			slowN := queryInt(r, "slow", 10)
+			recentN := queryInt(r, "recent", 25)
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			if gq := r.URL.Query().Get("group"); gq != "" {
+				g, err := strconv.Atoi(gq)
+				if err != nil || g < 0 || g >= len(trs) {
+					http.Error(w, fmt.Sprintf("group %q outside [0,%d)", gq, len(trs)), http.StatusBadRequest)
+					return
+				}
+				w.Header().Set("Content-Type", "application/json; charset=utf-8")
+				_ = enc.Encode(trs[g].Report(slowN, recentN))
+				return
+			}
+			multi := lifecycle.MultiReport{}
+			for _, tr := range trs {
+				r := tr.Report(slowN, recentN)
+				multi.Node = r.Node
+				multi.Groups = append(multi.Groups, r)
+			}
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			_ = enc.Encode(multi)
+		})
+	} else if o.Lifecycle != nil {
 		mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
 			tr := o.Lifecycle()
 			if tr == nil {
@@ -133,6 +174,10 @@ func WriteStatusText(w http.ResponseWriter, st rt.Status) {
 	fmt.Fprintf(w, "stats      %+v\n", st.Stats)
 	if len(st.GroupProcessed) > 0 {
 		fmt.Fprintf(w, "groups     %d processed %v\n", len(st.GroupProcessed), st.GroupProcessed)
+	}
+	for _, g := range st.Groups {
+		fmt.Fprintf(w, "group %-4d subrun %d processed %d stable %d waiting %d history %d alive %v\n",
+			g.Group, g.Subrun, g.ProcessedSum, g.StableSum, g.WaitingLen, g.HistoryLen, g.Alive)
 	}
 }
 

@@ -1,0 +1,209 @@
+package nodehttp
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"urcgc/internal/health"
+	"urcgc/internal/lifecycle"
+	"urcgc/internal/mid"
+	"urcgc/internal/obs"
+	"urcgc/internal/rt"
+)
+
+// multiFixture assembles the observability state of a member hosting
+// `groups` groups, with the same series shapes topics.MultiNode registers.
+type multiFixture struct {
+	reg      *obs.Registry
+	flight   *obs.Flight
+	decision []*obs.Gauge
+	tracers  []*lifecycle.Tracer
+}
+
+func newMultiFixture(t *testing.T, groups int) *multiFixture {
+	t.Helper()
+	f := &multiFixture{reg: obs.New()}
+	f.flight = obs.NewFlight(f.reg, obs.FlightOptions{Cap: 64})
+	for g := 0; g < groups; g++ {
+		l := func(name string) string {
+			return obs.Labeled(name, "node", "0", "group", strconv.Itoa(g))
+		}
+		f.decision = append(f.decision, f.reg.Gauge(l("core_decision_subrun")))
+		f.reg.Gauge(l("core_history_len"))
+		f.reg.Gauge(l("core_waiting_len"))
+		f.reg.Counter(l("rt_processed_total"))
+		f.reg.Gauge(l("core_stable_sum"))
+		f.tracers = append(f.tracers, lifecycle.NewGroup(0, 3, uint32(g),
+			lifecycle.Options{SlowThreshold: time.Hour}, f.reg))
+	}
+	return f
+}
+
+func (f *multiFixture) mux(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(Mux(Options{
+		Registry:        f.reg,
+		Flight:          f.flight,
+		MultiHealth:     health.NewMultiEvaluator(f.flight, "0", len(f.decision), health.Thresholds{TokenStallSamples: 4}),
+		LifecycleGroups: func() []*lifecycle.Tracer { return f.tracers },
+		Status: func(context.Context) (rt.Status, error) {
+			st := rt.Status{ID: 0, N: 3, Running: true}
+			for g := range f.decision {
+				st.Groups = append(st.Groups, rt.GroupStatus{Group: uint32(g), Running: true})
+			}
+			return st, nil
+		},
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestHealthzPerGroupReasons drives the aggregate /healthz of a 3-group
+// member: healthy while every group's token circulates, then 503 naming
+// exactly the group whose token froze.
+func TestHealthzPerGroupReasons(t *testing.T) {
+	f := newMultiFixture(t, 3)
+	srv := f.mux(t)
+
+	for i := 0; i < 8; i++ {
+		for _, d := range f.decision {
+			d.Add(1)
+		}
+		f.flight.Sample()
+	}
+	res, err := srv.Client().Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != 200 {
+		t.Fatalf("healthy member /healthz = %d", res.StatusCode)
+	}
+
+	for i := 0; i < 4; i++ {
+		f.decision[0].Add(1)
+		f.decision[2].Add(1) // group 1 frozen
+		f.flight.Sample()
+	}
+	res, err = srv.Client().Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != 503 {
+		t.Fatalf("degraded member /healthz = %d", res.StatusCode)
+	}
+	var st health.MultiStatus
+	if err := json.NewDecoder(res.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Reasons) != 1 || st.Reasons[0].Group != 1 || st.Reasons[0].Rule != "token-stall" {
+		t.Fatalf("reasons = %+v, want one token-stall on group 1", st.Reasons)
+	}
+	if len(st.Groups) != 3 || st.Groups[1].Healthy || !st.Groups[0].Healthy {
+		t.Fatalf("per-group verdicts = %+v", st.Groups)
+	}
+}
+
+// TestTraceGroupFilter pins /trace on a multi-group member: ?group=N
+// serves that group's Report, no parameter serves the MultiReport of
+// every group, and an unhosted group is a 400.
+func TestTraceGroupFilter(t *testing.T) {
+	f := newMultiFixture(t, 2)
+	srv := f.mux(t)
+	f.tracers[0].Generated(mid.MID{Proc: 0, Seq: 1})
+	f.tracers[1].Generated(mid.MID{Proc: 0, Seq: 1}) // same MID, different group
+	f.tracers[1].Generated(mid.MID{Proc: 0, Seq: 2})
+
+	res, err := srv.Client().Get(srv.URL + "/trace?group=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep lifecycle.Report
+	err = json.NewDecoder(res.Body).Decode(&rep)
+	res.Body.Close()
+	if err != nil || res.StatusCode != 200 {
+		t.Fatalf("?group=1: code %d err %v", res.StatusCode, err)
+	}
+	if rep.Group != 1 || rep.Counts.Started != 2 {
+		t.Fatalf("?group=1 report = group %d, %d spans", rep.Group, rep.Counts.Started)
+	}
+
+	res, err = srv.Client().Get(srv.URL + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var multi lifecycle.MultiReport
+	err = json.NewDecoder(res.Body).Decode(&multi)
+	res.Body.Close()
+	if err != nil || len(multi.Groups) != 2 {
+		t.Fatalf("unfiltered /trace: err %v, %d groups", err, len(multi.Groups))
+	}
+	if multi.Groups[0].Group != 0 || multi.Groups[1].Group != 1 {
+		t.Fatalf("group tags = %d,%d", multi.Groups[0].Group, multi.Groups[1].Group)
+	}
+
+	res, err = srv.Client().Get(srv.URL + "/trace?group=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != 400 {
+		t.Fatalf("unhosted group code = %d, want 400", res.StatusCode)
+	}
+}
+
+// TestTimeseriesLabeledWindow pins that the group-labeled series —
+// gauges and histogram projections alike — appear in the /timeseries
+// window with one value per sample.
+func TestTimeseriesLabeledWindow(t *testing.T) {
+	f := newMultiFixture(t, 2)
+	srv := f.mux(t)
+	f.reg.Histogram(obs.Labeled("topics_submit_to_stable_seconds", "node", "0", "group", "1"), obs.DurationBuckets).Observe(0.002)
+	for i := 1; i <= 3; i++ {
+		f.decision[1].Set(int64(i))
+		f.flight.Sample()
+	}
+
+	res, err := srv.Client().Get(srv.URL + "/timeseries")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var snap obs.FlightSnapshot
+	if err := json.NewDecoder(res.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.Series[`core_decision_subrun{node="0",group="1"}`]; len(got) != 3 || got[2] != 3 {
+		t.Fatalf("labeled gauge window = %v", got)
+	}
+	if got := snap.Series[`topics_submit_to_stable_seconds_count{node="0",group="1"}`]; len(got) != 3 || got[2] != 1 {
+		t.Fatalf("histogram projection window = %v", got)
+	}
+}
+
+// TestStatusTextRendersGroups checks the human /status body lists one
+// line per hosted group.
+func TestStatusTextRendersGroups(t *testing.T) {
+	f := newMultiFixture(t, 2)
+	srv := f.mux(t)
+	res, err := srv.Client().Get(srv.URL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	raw, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	if !strings.Contains(body, "group 0") || !strings.Contains(body, "group 1") {
+		t.Fatalf("status text missing group lines:\n%s", body)
+	}
+}

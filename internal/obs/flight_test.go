@@ -147,6 +147,27 @@ func TestFlightConcurrentReads(t *testing.T) {
 	}
 }
 
+// TestFlightHistogramProjection pins the integer projections VisitInts
+// derives from each histogram: `<base>_count{labels}` and
+// `<base>_sum_us{labels}` ride the flight window like any gauge, which is
+// how per-group latency histograms reach /timeseries.
+func TestFlightHistogramProjection(t *testing.T) {
+	reg := New()
+	h := reg.Histogram(Labeled("lat_seconds", "group", "2"), DurationBuckets)
+	f := NewFlight(reg, FlightOptions{Cap: 4})
+	h.Observe(0.001)
+	h.Observe(0.002)
+	f.Sample()
+	snap := f.Snapshot()
+	if got := snap.Series[`lat_seconds_count{group="2"}`]; len(got) != 1 || got[0] != 2 {
+		t.Fatalf("count series = %v, want [2]", got)
+	}
+	got := snap.Series[`lat_seconds_sum_us{group="2"}`]
+	if len(got) != 1 || got[0] < 2900 || got[0] > 3100 {
+		t.Fatalf("sum_us series = %v, want ~[3000]", got)
+	}
+}
+
 // TestFlightSampleAllocFree proves the steady-state Sample path allocates
 // nothing once every series has been seen: the recorder can run at a
 // tight interval inside the soak harness without disturbing the
@@ -156,6 +177,7 @@ func TestFlightSampleAllocFree(t *testing.T) {
 	for i := 0; i < 8; i++ {
 		reg.Gauge(Labeled("g", "node", string(rune('0'+i)))).Set(int64(i))
 		reg.Counter(Labeled("c", "node", string(rune('0'+i)))).Inc()
+		reg.Histogram(Labeled("h_seconds", "node", string(rune('0'+i))), DurationBuckets).Observe(0.001)
 	}
 	f := NewFlight(reg, FlightOptions{Cap: 16})
 	f.Sample() // warm: series rings created here

@@ -167,8 +167,14 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	// histInts holds each histogram's precomputed flight-series names
+	// (`<base>_count{labels}`, `<base>_sum_us{labels}`), so VisitInts can
+	// surface latency histograms as integer series without allocating.
+	histInts map[string]histIntNames
 	events   *EventLog
 }
+
+type histIntNames struct{ count, sumUs string }
 
 // New returns an empty registry with an event log of the given capacity
 // (≤ 0 means a default of 256 events).
@@ -177,6 +183,7 @@ func New() *Registry {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
+		histInts: make(map[string]histIntNames),
 		events:   NewEventLog(256),
 	}
 }
@@ -219,6 +226,11 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 		}
 		h = newHistogram(bounds)
 		r.hists[name] = h
+		base, labels := splitName(name)
+		r.histInts[name] = histIntNames{
+			count: base + "_count" + labelBody(labels),
+			sumUs: base + "_sum_us" + labelBody(labels),
+		}
 	}
 	return h
 }
@@ -390,11 +402,16 @@ func (r *Registry) Handler() http.Handler {
 	})
 }
 
-// VisitInts calls f once for the current value of every plain counter
-// and gauge (histograms excluded), holding the registry lock for the
-// duration. Unlike Snapshot it allocates nothing, which is what the
-// flight recorder's fixed-interval sampler needs; f must not call back
-// into the registry.
+// VisitInts calls f once for the current value of every plain counter and
+// gauge, and twice per histogram with its integer projections — the
+// observation count as `<base>_count{labels}` and the sum in microseconds
+// as `<base>_sum_us{labels}` — holding the registry lock for the duration.
+// The histogram projections are what put latency on the flight recorder:
+// a window of (count, sum) deltas is a windowed mean, so per-group confirm
+// and submit→stable latency ride /timeseries next to the gauges. Unlike
+// Snapshot it allocates nothing (the projection names are precomputed at
+// histogram creation), which is what the flight recorder's fixed-interval
+// sampler needs; f must not call back into the registry.
 func (r *Registry) VisitInts(f func(name string, v int64)) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -403,6 +420,11 @@ func (r *Registry) VisitInts(f func(name string, v int64)) {
 	}
 	for name, g := range r.gauges {
 		f(name, g.Value())
+	}
+	for name, h := range r.hists {
+		names := r.histInts[name]
+		f(names.count, h.Count())
+		f(names.sumUs, int64(h.Sum()*1e6))
 	}
 }
 

@@ -65,9 +65,9 @@ func driveWaitCascade(t *testing.T, cb core.Callbacks) float64 {
 // no-op OnWait installed, the scratch buffer keeps the delta at zero
 // allocations per message.
 func TestLifecycleDisabledAllocFree(t *testing.T) {
-	if cb := installLifecycle(nil, core.Callbacks{}); cb.OnGenerate != nil ||
+	if cb := InstallLifecycle(nil, core.Callbacks{}); cb.OnGenerate != nil ||
 		cb.OnBroadcast != nil || cb.OnWait != nil || cb.OnStable != nil {
-		t.Fatal("installLifecycle(nil, ...) must not install stage hooks")
+		t.Fatal("InstallLifecycle(nil, ...) must not install stage hooks")
 	}
 	disabled := driveWaitCascade(t, core.Callbacks{})
 	// The park+deliver pair's pre-existing cost: EffectiveDeps clones in

@@ -277,7 +277,7 @@ func (n *Node) init() error {
 			n.mu.Unlock()
 		},
 	}
-	p, err := core.NewProcess(n.id, n.c.cfg.Config, meshTransport{n: n}, installLifecycle(n.tracer, n.obs.Install(cb)))
+	p, err := core.NewProcess(n.id, n.c.cfg.Config, meshTransport{n: n}, InstallLifecycle(n.tracer, n.obs.Install(cb)))
 	if err != nil {
 		return err
 	}

@@ -49,6 +49,46 @@ type Status struct {
 	// is the per-group processed-message count; empty for single-group
 	// members, so existing consumers see an unchanged shape.
 	GroupProcessed []int64 `json:"group_processed,omitempty"`
+	// Groups, when the member hosts multiple groups, is a per-group
+	// protocol summary — what urcgc-inspect needs to judge view divergence
+	// and progress skew per group instead of whole-node. Empty for
+	// single-group members.
+	Groups []GroupStatus `json:"groups,omitempty"`
+}
+
+// GroupStatus is one hosted group's protocol summary inside a multi-group
+// member's Status: enough to compare views and frontiers across members
+// without shipping every group's full Status.
+type GroupStatus struct {
+	Group        uint32        `json:"group"`
+	Running      bool          `json:"running"`
+	Subrun       int64         `json:"subrun"`
+	Coordinator  mid.ProcID    `json:"coordinator"`
+	Alive        []bool        `json:"alive"`
+	Processed    mid.SeqVector `json:"processed"`
+	StableTo     mid.SeqVector `json:"stable_to"`
+	ProcessedSum int64         `json:"processed_sum"`
+	StableSum    int64         `json:"stable_sum"`
+	WaitingLen   int           `json:"waiting_len"`
+	HistoryLen   int           `json:"history_len"`
+}
+
+// GroupStatusOf samples one group's process into the compact per-group
+// shape. Like StatusOf it must run on the goroutine driving p.
+func GroupStatusOf(group uint32, p *core.Process) GroupStatus {
+	return GroupStatus{
+		Group:        group,
+		Running:      p.Running(),
+		Subrun:       p.Subrun(),
+		Coordinator:  p.CurrentCoordinator(),
+		Alive:        append([]bool(nil), p.View().AliveMask()...),
+		Processed:    p.Processed().Clone(),
+		StableTo:     p.StableTo().Clone(),
+		ProcessedSum: int64(p.Processed().Sum()),
+		StableSum:    int64(p.StableTo().Sum()),
+		WaitingLen:   p.WaitingLen(),
+		HistoryLen:   p.HistoryLen(),
+	}
 }
 
 // StatusOf samples p. Exported for the multi-group runtime (internal/topics),

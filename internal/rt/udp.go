@@ -231,7 +231,7 @@ func NewUDPNode(cfg UDPConfig) (*UDPNode, error) {
 		}
 		n.tracer = lifecycle.New(cfg.Self, cfg.N, opts, cfg.Metrics)
 	}
-	proc, err := core.NewProcess(cfg.Self, cfg.Config, udpTransport{n: n}, installLifecycle(n.tracer, n.obs.Install(cb)))
+	proc, err := core.NewProcess(cfg.Self, cfg.Config, udpTransport{n: n}, InstallLifecycle(n.tracer, n.obs.Install(cb)))
 	if err != nil {
 		conn.Close()
 		return nil, err

@@ -1,0 +1,200 @@
+package stitch
+
+import (
+	"context"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"urcgc/internal/core"
+	"urcgc/internal/lifecycle"
+	"urcgc/internal/mid"
+	"urcgc/internal/nodehttp"
+	"urcgc/internal/topics"
+)
+
+// Hold levels for the live stuck-message test's drop hook.
+const (
+	holdNone    = iota
+	holdFromOne // member 1's group-1 frames to member 2 are withheld
+	holdAll     // all group-1 frames into member 2 are withheld
+)
+
+// TestTraceStuckMessageEndToEnd is the acceptance demo as a test: member
+// 1 deliberately withholds a group-1 message from member 2, member 0's
+// causal send then parks at member 2 behind the dependency it never
+// received, and Collect+Stitch over the real per-node /trace surface must
+// name the blocking member and the dependency MID.
+//
+// The hold escalates in two steps: first only member 1's frames to
+// member 2 are dropped (so the dependency spreads to members 0 and 1 but
+// not 2), then — once the blocked message has parked at member 2 — every
+// group-1 frame into member 2 is dropped, which keeps the recovery
+// machinery (RECOVER/RETRANSMIT via the decision's most-updated holder)
+// from healing the gap under the test. Long rounds make the escalation
+// race-free: recovery needs a decision cycle, the escalation needs
+// milliseconds.
+func TestTraceStuckMessageEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live cluster and timers")
+	}
+	const (
+		n     = 3
+		round = 300 * time.Millisecond
+	)
+
+	var hold atomic.Int32
+	cl, err := topics.NewMultiCluster(topics.Config{
+		// K far above what the test can span keeps the one-sided silence
+		// from becoming a crash declaration.
+		Config: core.Config{
+			N: n, K: 600, R: 1202, SelfExclusion: false,
+			BatchMax: core.DefaultBatchMax,
+		},
+		Groups:        2,
+		RoundDuration: round,
+		Lifecycle: &lifecycle.Options{
+			SlowThreshold: 50 * time.Millisecond,
+		},
+		DropFrame: func(group uint32, src, dst mid.ProcID) bool {
+			switch hold.Load() {
+			case holdFromOne:
+				return group == 1 && src == 1 && dst == 2
+			case holdAll:
+				return group == 1 && dst == 2
+			}
+			return false
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Start()
+	defer cl.Stop()
+
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		node := cl.Node(mid.ProcID(i))
+		mux := nodehttp.Mux(nodehttp.Options{LifecycleGroups: node.Lifecycles})
+		ln, err := nodehttp.Serve("127.0.0.1:0", mux)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		t.Cleanup(func() { ln.Close() })
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	// Both groups flowing first, so the stitch also joins healthy
+	// completed spans.
+	if _, err := cl.Node(0).Send(ctx, 0, []byte("ok"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Node(0).Send(ctx, 1, []byte("warm"), nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Member 1 broadcasts the dependency while its frames to member 2 are
+	// withheld: members 0 and 1 process it, member 2 never receives it.
+	hold.Store(holdFromOne)
+	dep, err := cl.Node(1).Send(ctx, 1, []byte("withheld"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Member 0's causal send depends on everything it processed — the
+	// withheld message included. Member 2 receives it (0→2 still flows)
+	// and parks it behind the dependency it lacks.
+	blocked, err := cl.Node(0).SendCausal(ctx, 1, []byte("blocked"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// As soon as the blocked message shows on member 2's /trace, cut all
+	// group-1 traffic into member 2 so recovery cannot heal the gap.
+	arrival := time.Now().Add(30 * time.Second)
+	for {
+		nt := collectOne(Config{Nodes: []string{addrs[2]}, Group: 1}.fill(), addrs[2])
+		if hasSpan(nt, blocked.String()) {
+			break
+		}
+		if time.Now().After(arrival) {
+			t.Fatalf("blocked message never reached member 2: %+v", nt)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	hold.Store(holdAll)
+
+	deadline := time.Now().Add(30 * time.Second)
+	var rep *Report
+	for {
+		rep = Stitch(Collect(Config{Nodes: addrs, Group: -1}))
+		if blockedOn(rep, blocked.String(), dep.String()) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stitched report never attributed the stall to %s:\n%s", dep, dump(rep))
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	var sb strings.Builder
+	rep.Write(&sb, 10)
+	out := sb.String()
+	if !strings.Contains(out, dep.String()) || !strings.Contains(out, "member 1") {
+		t.Fatalf("text report does not name the blocking member and MID:\n%s", out)
+	}
+}
+
+// hasSpan reports whether one node's collected reports mention the MID.
+func hasSpan(nt NodeTrace, mid string) bool {
+	for _, rep := range nt.Reports {
+		for _, sv := range rep.Slowest {
+			if sv.MID == mid {
+				return true
+			}
+		}
+		for _, sv := range rep.Recent {
+			if sv.MID == mid {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// blockedOn reports whether the stitched view holds the blocked group-1
+// message stuck at member 2, attributed to member 1's withheld dependency
+// — which members 0 and 1 did see, so it must read as in flight
+// elsewhere.
+func blockedOn(r *Report, blockedMID, depMID string) bool {
+	for _, m := range r.Messages {
+		if m.Group != 1 || m.MID != blockedMID {
+			continue
+		}
+		stuckAt2 := false
+		for _, node := range m.StuckAt {
+			if node == 2 {
+				stuckAt2 = true
+			}
+		}
+		if !stuckAt2 {
+			continue
+		}
+		for _, b := range m.Blocked {
+			if b.DepMID == depMID && b.DepMember == 1 && b.SeenAnywhere {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func dump(r *Report) string {
+	var sb strings.Builder
+	r.Write(&sb, 0)
+	return sb.String()
+}

@@ -137,6 +137,9 @@ func (t meshTransport) Send(dst mid.ProcID, pdu wire.PDU) {
 	if dst == m.cfg.Self || dst < 0 || int(dst) >= m.cfg.N {
 		return
 	}
+	if m.cfg.DropFrame != nil && m.cfg.DropFrame(t.s.group, m.cfg.Self, dst) {
+		return
+	}
 	frame, err := t.frame(pdu)
 	if err != nil || !m.checkSize(frame, pdu) {
 		wire.PutBuf(frame)
@@ -158,6 +161,9 @@ func (t meshTransport) Broadcast(pdu wire.PDU) {
 	for i := 0; i < m.cfg.N; i++ {
 		dst := mid.ProcID(i)
 		if dst == m.cfg.Self {
+			continue
+		}
+		if m.cfg.DropFrame != nil && m.cfg.DropFrame(t.s.group, m.cfg.Self, dst) {
 			continue
 		}
 		m.mesh.nodes[dst].demux(frame)

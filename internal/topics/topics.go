@@ -32,6 +32,7 @@ import (
 
 	"urcgc/internal/causal"
 	"urcgc/internal/core"
+	"urcgc/internal/lifecycle"
 	"urcgc/internal/mid"
 	"urcgc/internal/obs"
 	"urcgc/internal/rt"
@@ -75,6 +76,17 @@ type Config struct {
 	// Metrics, when non-nil, receives per-group protocol series (each
 	// carrying node and group labels) plus shared socket accounting.
 	Metrics *obs.Registry
+	// Lifecycle, when non-nil, enables per-MID span tracking on every
+	// group: each session gets its own group-tagged lifecycle.Tracer
+	// (reachable via Lifecycle/Lifecycles for /trace), with the watchdog
+	// Blame defaulting to naming the group and its shard. Nil keeps the
+	// hot path free of tracing branches.
+	Lifecycle *lifecycle.Options
+	// DropFrame, when non-nil, is consulted before every outgoing frame
+	// with (group, src, dst); returning true silently drops it. A test
+	// seam for partitioning individual groups (the chaos harness's
+	// group-partition soak); nil in production.
+	DropFrame func(group uint32, src, dst mid.ProcID) bool
 	// Logf receives throttled operator-visible warnings; nil means
 	// log.Printf.
 	Logf func(format string, args ...any)
@@ -218,6 +230,20 @@ func (m *MultiNode) initSessions(tp func(*session) core.Transport) error {
 			ind:     make(chan Indication, m.cfg.IndicationDepth),
 			waiters: make(map[mid.MID]chan struct{}),
 			obs:     rt.NewNodeObs(m.cfg.Metrics, m.cfg.Self, m.cfg.N, "group", strconv.Itoa(g)),
+			gobs:    newGroupObs(m.cfg.Metrics, m.cfg.Self, g),
+		}
+		if s.gobs != nil {
+			s.stableWait = make(map[mid.MID]time.Time)
+		}
+		if m.cfg.Lifecycle != nil {
+			opts := *m.cfg.Lifecycle
+			if opts.Blame == nil {
+				group, shardIdx, shards := g, g%len(m.shards), len(m.shards)
+				opts.Blame = func([]mid.MID) string {
+					return fmt.Sprintf("group %d on shard %d/%d", group, shardIdx, shards)
+				}
+			}
+			s.tracer = lifecycle.NewGroup(m.cfg.Self, m.cfg.N, s.group, opts, m.cfg.Metrics)
 		}
 		cb := core.Callbacks{
 			OnProcess: func(msg *causal.Message) {
@@ -234,6 +260,11 @@ func (m *MultiNode) initSessions(tp func(*session) core.Transport) error {
 					s.obs.IndicationDropped()
 				}
 			},
+			// Shard goroutine, like every core callback: settles the
+			// submit→stable histogram for our own newly stable messages.
+			OnStable: func(clean mid.SeqVector) {
+				s.settleStable(clean)
+			},
 			OnLeave: func(r core.LeaveReason) {
 				s.mu.Lock()
 				s.leftWith = &r
@@ -242,9 +273,10 @@ func (m *MultiNode) initSessions(tp func(*session) core.Transport) error {
 				}
 				s.waiters = map[mid.MID]chan struct{}{}
 				s.mu.Unlock()
+				clear(s.stableWait)
 			},
 		}
-		proc, err := core.NewProcess(m.cfg.Self, m.cfg.Config, tp(s), s.obs.Install(cb))
+		proc, err := core.NewProcess(m.cfg.Self, m.cfg.Config, tp(s), rt.InstallLifecycle(s.tracer, s.obs.Install(cb)))
 		if err != nil {
 			return fmt.Errorf("topics: group %d: %w", g, err)
 		}
@@ -386,14 +418,51 @@ func (m *MultiNode) GroupStatus(ctx context.Context, group uint32) (rt.Status, e
 }
 
 // Status reports group 0 in the single-group shape, annotated with the
-// per-group processed counts, so the /status endpoint and urcgc-inspect
-// keep working unchanged against a multi-group node.
+// per-group processed counts and (on a multi-group member) one compact
+// GroupStatus per hosted group, so the /status endpoint keeps its shape
+// for single-group consumers while urcgc-inspect can judge view
+// divergence and progress skew per group.
 func (m *MultiNode) Status(ctx context.Context) (rt.Status, error) {
 	st, err := m.GroupStatus(ctx, 0)
-	if err == nil {
-		st.GroupProcessed = m.GroupCounts()
+	if err != nil {
+		return st, err
 	}
-	return st, err
+	st.GroupProcessed = m.GroupCounts()
+	if len(m.sessions) > 1 {
+		st.Groups = make([]rt.GroupStatus, len(m.sessions))
+		for g := range m.sessions {
+			gs := &st.Groups[g]
+			gid := uint32(g)
+			if err := m.Snapshot(ctx, gid, func(p *core.Process) { *gs = rt.GroupStatusOf(gid, p) }); err != nil {
+				return st, err
+			}
+		}
+	}
+	return st, nil
+}
+
+// Lifecycle returns one group's span tracer, or nil when tracing is
+// disabled or the group is not hosted. A nil tracer is a no-op receiver,
+// so callers may use the result unconditionally.
+func (m *MultiNode) Lifecycle(group uint32) *lifecycle.Tracer {
+	s, err := m.session(group)
+	if err != nil {
+		return nil
+	}
+	return s.tracer
+}
+
+// Lifecycles returns the per-group span tracers indexed by group id, or
+// nil when tracing is disabled.
+func (m *MultiNode) Lifecycles() []*lifecycle.Tracer {
+	if m.cfg.Lifecycle == nil {
+		return nil
+	}
+	out := make([]*lifecycle.Tracer, len(m.sessions))
+	for g, s := range m.sessions {
+		out[g] = s.tracer
+	}
+	return out
 }
 
 // GroupCounts returns the number of messages processed per group so far.
@@ -439,15 +508,20 @@ func (sh *shard) loop() {
 	}
 }
 
-// enqueue hands a datagram closure to the shard loop; a full inbox drops
-// it, like any datagram. Reports whether it was accepted.
-func (sh *shard) enqueue(fn func()) bool {
+// enqueue hands a datagram closure to the shard loop on behalf of one
+// group's session; a full inbox drops it, like any datagram, charging
+// both the shared counter and the group's own. Reports whether it was
+// accepted.
+func (sh *shard) enqueue(s *session, fn func()) bool {
 	select {
 	case sh.inbox <- fn:
 		return true
 	default:
 		if sh.m.mobs != nil {
 			sh.m.mobs.shardDrops.Inc()
+		}
+		if s.gobs != nil {
+			s.gobs.shardDrops.Inc()
 		}
 		return false
 	}
@@ -467,19 +541,63 @@ func (sh *shard) enqueueWait(fn func()) error {
 // session is one group's protocol entity plus its user-facing plumbing:
 // confirm waiters, indication stream, coalescing sender, labeled metrics.
 type session struct {
-	m     *MultiNode
-	group uint32
-	shard *shard
-	proc  *core.Process
-	obs   *rt.NodeObs
-	coal  *rt.Coalescer // nil unless BatchWindow is set
-	ind   chan Indication
+	m      *MultiNode
+	group  uint32
+	shard  *shard
+	proc   *core.Process
+	obs    *rt.NodeObs
+	gobs   *groupObs         // nil when metrics are disabled
+	tracer *lifecycle.Tracer // nil unless Config.Lifecycle is set
+	coal   *rt.Coalescer     // nil unless BatchWindow is set
+	ind    chan Indication
 
 	processed atomic.Int64
+
+	// stableWait maps our in-flight submissions to their protocol-submit
+	// time until uniform stability covers them. Shard goroutine only
+	// (written in submitNow, settled in OnStable, cleared in OnLeave), so
+	// it needs no lock. Nil when metrics are disabled.
+	stableWait map[mid.MID]time.Time
 
 	mu       sync.Mutex
 	waiters  map[mid.MID]chan struct{}
 	leftWith *core.LeaveReason
+}
+
+// groupObs is one group's share of the runtime accounting the shared
+// multiObs counters cannot attribute: which group's shard inbox dropped,
+// which group's ticks were skipped, and the group's submit→stable latency.
+type groupObs struct {
+	shardDrops   *obs.Counter
+	ticksSkipped *obs.Counter
+	submitStable *obs.Histogram
+}
+
+func newGroupObs(reg *obs.Registry, self mid.ProcID, group int) *groupObs {
+	if reg == nil {
+		return nil
+	}
+	kv := []string{"node", strconv.Itoa(int(self)), "group", strconv.Itoa(group)}
+	return &groupObs{
+		shardDrops:   reg.Counter(obs.Labeled("topics_shard_dropped_total", kv...)),
+		ticksSkipped: reg.Counter(obs.Labeled("topics_ticks_skipped_total", kv...)),
+		submitStable: reg.Histogram(obs.Labeled("topics_submit_to_stable_seconds", kv...), obs.DurationBuckets),
+	}
+}
+
+// settleStable observes the submit→stable latency of every own submission
+// the full-group clean vector newly covers. Shard goroutine only.
+func (s *session) settleStable(clean mid.SeqVector) {
+	if s.gobs == nil || len(s.stableWait) == 0 {
+		return
+	}
+	now := time.Now()
+	for id, t0 := range s.stableWait {
+		if int(id.Proc) < len(clean) && id.Seq <= clean[id.Proc] {
+			s.gobs.submitStable.Observe(now.Sub(t0).Seconds())
+			delete(s.stableWait, id)
+		}
+	}
 }
 
 func (s *session) left() (core.LeaveReason, bool) {
@@ -504,6 +622,9 @@ func (s *session) submitNow(sub *rt.Submission) {
 		s.mu.Lock()
 		s.waiters[id] = sub.Confirm
 		s.mu.Unlock()
+		if s.gobs != nil {
+			s.stableWait[id] = time.Now()
+		}
 	}
 	sub.Res <- rt.SubResult{ID: id, Err: err}
 }
@@ -573,9 +694,12 @@ func (m *MultiNode) clock() {
 			round++
 			for _, s := range m.sessions {
 				s := s
-				if !s.shard.enqueue(func() { s.obs.MarkRound(r); s.proc.StartRound(r) }) {
+				if !s.shard.enqueue(s, func() { s.obs.MarkRound(r); s.proc.StartRound(r) }) {
 					if m.mobs != nil {
 						m.mobs.ticksSkipped.Inc()
+					}
+					if s.gobs != nil {
+						s.gobs.ticksSkipped.Inc()
 					}
 					m.warnf("group %d round tick %d skipped: shard inbox full (overload omission)", s.group, r)
 				}
@@ -655,7 +779,9 @@ func (m *MultiNode) demux(pkt []byte) {
 		return
 	}
 	s := m.sessions[group]
-	s.shard.enqueue(func() { s.proc.Recv(src, pdu) })
+	if !s.shard.enqueue(s, func() { s.proc.Recv(src, pdu) }) {
+		m.warnf("group %d: shard inbox full, datagram from member %d dropped (overload omission)", group, src)
+	}
 }
 
 // multiObs is the shared (not per-group) accounting: socket traffic, demux
@@ -734,6 +860,9 @@ func (t groupTransport) Send(dst mid.ProcID, pdu wire.PDU) {
 	if dst == m.cfg.Self || dst < 0 || int(dst) >= m.cfg.N {
 		return
 	}
+	if m.cfg.DropFrame != nil && m.cfg.DropFrame(t.s.group, m.cfg.Self, dst) {
+		return
+	}
 	frame, err := t.frame(pdu)
 	if err != nil || !m.checkSize(frame, pdu) {
 		wire.PutBuf(frame)
@@ -756,6 +885,9 @@ func (t groupTransport) Broadcast(pdu wire.PDU) {
 	for i := 0; i < m.cfg.N; i++ {
 		dst := mid.ProcID(i)
 		if dst == m.cfg.Self {
+			continue
+		}
+		if m.cfg.DropFrame != nil && m.cfg.DropFrame(t.s.group, m.cfg.Self, dst) {
 			continue
 		}
 		sh.refs.Add(1)
