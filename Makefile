@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench bench-smoke bench-throughput bench-groups chaos-smoke chaos-soak inspect-smoke trace-smoke clean
+.PHONY: all build test race vet check bench bench-smoke bench-throughput bench-groups chaos-smoke chaos-soak inspect-smoke trace-smoke join-smoke clean
 
 all: check
 
@@ -19,9 +19,12 @@ vet:
 # shared burst sender), the protocol core they drive, the flight recorder
 # and health evaluator (sampler goroutine vs concurrent readers), the
 # cluster inspector (parallel probes against live nodes), and the
-# cross-node trace stitcher (parallel /trace collection).
+# cross-node trace stitcher (parallel /trace collection), and the fault
+# injection layer whose checker audits invariants across restarts (the
+# rt and core lists include the join/state-transfer paths: Cluster.Restart
+# swaps the process on the loop goroutine while Status/Send race it).
 race:
-	$(GO) test -race ./internal/rt/... ./internal/topics/... ./internal/core/... ./internal/obs/... ./internal/health/... ./internal/inspect/... ./internal/stitch/...
+	$(GO) test -race ./internal/rt/... ./internal/topics/... ./internal/core/... ./internal/obs/... ./internal/health/... ./internal/inspect/... ./internal/stitch/... ./internal/faultrt/...
 
 # check is the tier-1 gate: everything builds, vets clean, passes the
 # full suite, the concurrency-sensitive packages pass under -race, every
@@ -29,7 +32,7 @@ race:
 # upholds the uniform invariants under the race detector, and a live
 # three-member cluster inspects healthy end to end through the real
 # binaries.
-check: vet test race bench-smoke bench-throughput bench-groups chaos-smoke inspect-smoke trace-smoke
+check: vet test race bench-smoke bench-throughput bench-groups chaos-smoke inspect-smoke trace-smoke join-smoke
 
 # inspect-smoke boots three urcgc-node processes, points urcgc-inspect at
 # their observability endpoints, and requires a healthy one-shot verdict —
@@ -45,19 +48,31 @@ inspect-smoke:
 trace-smoke:
 	sh scripts/trace_smoke.sh
 
+# join-smoke is the dynamic-membership end-to-end gate: three urcgc-node
+# processes form a group, one is kill -9'd, the survivors exclude it, and
+# a restart with -join must state-transfer back in, be re-admitted into
+# every view, answer /healthz 200 and leave urcgc-inspect healthy.
+join-smoke:
+	sh scripts/join_smoke.sh
+
 # chaos-smoke is the CI chaos gate: a short seeded soak (one crash, one
 # healed partition, 1/100 omission bursts, background reordering and
-# duplication) under -race, audited for uniform atomicity and ordering.
+# duplication) under -race, audited for uniform atomicity and ordering;
+# plus the rolling-restart smoke (every member kill -9'd and rejoined in
+# turn under omissions, invariants audited across incarnations).
 chaos-smoke:
-	$(GO) test -race -run 'TestSmokeSoak|TestSameSeedSamePlan' -count 1 ./internal/chaos/
+	$(GO) test -race -run 'TestSmokeSoak|TestSameSeedSamePlan|TestRollingRestartSmoke' -count 1 ./internal/chaos/
 
 # chaos-soak is the 60-second acceptance soak (same shape, longer wall
 # clock), which also asserts member health degraded under the faults and
-# recovered after; plus the five-member partition/heal demo: inspect
-# healthy -> divergence naming the cut-off member -> healthy again. Also
-# available interactively as `go run ./cmd/urcgc-chaos`.
+# recovered after; the five-member rolling-restart soak (every member
+# kill -9'd and rejoined sequentially under 1/100 omission, the uniform
+# invariants audited across incarnations); plus the five-member
+# partition/heal demo: inspect healthy -> divergence naming the cut-off
+# member -> healthy again. Also available interactively as
+# `go run ./cmd/urcgc-chaos`.
 chaos-soak:
-	URCGC_CHAOS_SOAK=1 $(GO) test -race -run TestLongSoak -count 1 -timeout 10m -v ./internal/chaos/
+	URCGC_CHAOS_SOAK=1 $(GO) test -race -run 'TestLongSoak|TestRollingRestartSoak' -count 1 -timeout 10m -v ./internal/chaos/
 	$(GO) test -race -run TestInspectPartitionRecovery -count 1 -timeout 10m -v ./internal/inspect/
 
 # bench runs the full baseline suite at real benchtimes and refreshes

@@ -10,6 +10,12 @@
 // this member — its own and its peers', in causal order — are printed.
 // With -chatter the node also generates synthetic traffic by itself.
 //
+// A member restarted with -join rejoins the running group instead of
+// starting fresh: it state-transfers the history and sequence vectors
+// from a live member, is re-admitted by the next decisions, and only then
+// accepts new submissions. This is the recovery path after the suicide
+// rule (or a crash) took the member out: leave, restart, rejoin.
+//
 // With -groups G (and optionally -shards S) the member hosts G independent
 // groups over the same socket via the sharded multi-group runtime: stdin
 // lines go to group 0 unless prefixed "<g>:", chatter rotates across
@@ -85,6 +91,7 @@ func main() {
 		self      = flag.Int("self", 0, "this member's identity (index into -peers)")
 		peers     = flag.String("peers", "", "comma-separated member addresses, index = identity")
 		k         = flag.Int("k", 3, "K parameter")
+		join      = flag.Bool("join", false, "rejoin a running group: state-transfer from a live member instead of starting fresh (use when restarting a member of a live cluster)")
 		groups    = flag.Int("groups", 1, "independent groups hosted over this member's socket")
 		shards    = flag.Int("shards", 0, "protocol shard loops when -groups > 1 (0 = min(groups, GOMAXPROCS))")
 		round     = flag.Duration("round", 20*time.Millisecond, "round duration")
@@ -114,6 +121,7 @@ func main() {
 	cfg := core.Config{
 		N: len(addrs), K: *k, R: 2**k + 2, SelfExclusion: true,
 		BatchMax: *batchMax,
+		Join:     *join,
 	}
 
 	var (
@@ -130,11 +138,15 @@ func main() {
 		os.Exit(1)
 	}
 	node.start()
+	joining := ""
+	if *join {
+		joining = ", rejoining"
+	}
 	if *groups > 1 {
-		fmt.Printf("member %d of %d up at %s (round %v, %d groups over %d shards)\n",
-			*self, len(addrs), node.localAddr(), *round, *groups, *shards)
+		fmt.Printf("member %d of %d up at %s (round %v, %d groups over %d shards%s)\n",
+			*self, len(addrs), node.localAddr(), *round, *groups, *shards, joining)
 	} else {
-		fmt.Printf("member %d of %d up at %s (round %v)\n", *self, len(addrs), node.localAddr(), *round)
+		fmt.Printf("member %d of %d up at %s (round %v%s)\n", *self, len(addrs), node.localAddr(), *round, joining)
 	}
 
 	var flight *obs.Flight
@@ -239,8 +251,9 @@ func main() {
 				_, err := node.send(ctx, g, []byte(fmt.Sprintf("chatter %d from %d", seq, *self)))
 				cancel()
 				if err != nil {
+					// Transient refusals are expected while rejoining (-join):
+					// the member accepts submissions only once admitted.
 					fmt.Fprintln(os.Stderr, "chatter:", err)
-					return
 				}
 			}
 		}()
@@ -325,6 +338,9 @@ func newSingleMember(cfg core.Config, addrs []string, self int,
 		Metrics:       reg,
 		Lifecycle:     lcOpts,
 		Logf:          log.Printf,
+		Joined: func() {
+			fmt.Printf("member %d rejoined the group (state transfer complete)\n", self)
+		},
 	})
 	if err != nil {
 		return nil, err
@@ -369,6 +385,9 @@ func newMultiMember(cfg core.Config, addrs []string, self, groups, shards int,
 		Metrics:       reg,
 		Lifecycle:     lcOpts,
 		Logf:          log.Printf,
+		Joined: func(g uint32) {
+			fmt.Printf("member %d rejoined group %d (state transfer complete)\n", self, g)
+		},
 	})
 	if err != nil {
 		return nil, err

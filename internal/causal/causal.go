@@ -199,6 +199,50 @@ func (t *Tracker) Condemn(q mid.ProcID, from mid.Seq) error {
 	return nil
 }
 
+// Uncondemn clears the condemned suffix of q's sequence — the local half of
+// a join adoption: the rejoined member's sequence resumes, so the group's
+// agreement to destroy its suffix no longer applies to the messages it will
+// now reissue. A sequence with nothing condemned is a no-op.
+func (t *Tracker) Uncondemn(q mid.ProcID) {
+	if q >= 0 && int(q) < len(t.condemned) {
+		t.condemned[q] = 0
+	}
+}
+
+// Install replaces the processed vector wholesale with the given watermark —
+// the joiner's bootstrap: everything at or below a stability watermark is
+// uniformly delivered group-wide, so a joiner treats it as processed and
+// resumes contiguous processing from there. Entries may also move forward
+// later when a Retransmit reports a wanted range compacted everywhere
+// (see Tracker.FastForward). Install must not move any entry backwards.
+func (t *Tracker) Install(watermark mid.SeqVector) error {
+	for q := range t.processed {
+		w := mid.Seq(0)
+		if q < len(watermark) {
+			w = watermark[q]
+		}
+		if w < t.processed[q] {
+			return fmt.Errorf("causal: installing watermark %d below processed %d for p%d", w, t.processed[q], q)
+		}
+	}
+	for q := range t.processed {
+		if q < len(watermark) {
+			t.processed[q] = watermark[q]
+		}
+	}
+	return nil
+}
+
+// FastForward advances one sequence's processed position to seq without the
+// messages in between — valid only when those messages are known uniformly
+// stable (a responder reported the range compacted, which requires a
+// full-group decision covering it). Moving backwards is a no-op.
+func (t *Tracker) FastForward(q mid.ProcID, seq mid.Seq) {
+	if q >= 0 && int(q) < len(t.processed) && seq > t.processed[q] {
+		t.processed[q] = seq
+	}
+}
+
 // IsCondemned reports whether message m has been destroyed by agreement.
 func (t *Tracker) IsCondemned(m mid.MID) bool {
 	if int(m.Proc) >= len(t.condemned) || m.Proc < 0 {

@@ -148,43 +148,7 @@ func NewCluster(cc ClusterConfig) (*Cluster, error) {
 	}
 	for i := 0; i < cc.N; i++ {
 		id := mid.ProcID(i)
-		cb := Callbacks{
-			OnBroadcast: func(m *causal.Message) {
-				if c.Trace != nil {
-					c.Trace.Broadcast(eng.Now(), id, m.ID)
-				}
-			},
-			OnWait: func(m *causal.Message, missing mid.DepList) {
-				if c.Trace != nil {
-					c.Trace.Wait(eng.Now(), id, m.ID, missing)
-				}
-			},
-			OnProcess: func(m *causal.Message) {
-				c.ProcessedLog[id] = append(c.ProcessedLog[id], m.ID)
-				c.Delay.Processed(m.ID, eng.Now())
-				if c.Trace != nil {
-					c.Trace.Process(eng.Now(), id, m.ID)
-				}
-			},
-			OnDiscard: func(m *causal.Message) {
-				c.DiscardLog[id] = append(c.DiscardLog[id], m.ID)
-				if c.Trace != nil {
-					c.Trace.Discard(eng.Now(), id, m.ID)
-				}
-			},
-			OnLeave: func(r LeaveReason) {
-				c.Left[id] = r
-				if c.Trace != nil {
-					c.Trace.Leave(eng.Now(), id)
-				}
-			},
-			OnDecision: func(d *wire.Decision) {
-				c.Decisions[id]++
-				if c.OnDecision != nil {
-					c.OnDecision(id, d)
-				}
-			},
-		}
+		cb := c.callbacks(id)
 		if cc.TransportH > 1 {
 			ph := &procHandler{}
 			ent, err := transport.NewEntity(id, nw, eng, transport.Config{}, ph)
@@ -208,6 +172,79 @@ func NewCluster(cc ClusterConfig) (*Cluster, error) {
 		nw.Attach(id, p)
 	}
 	return c, nil
+}
+
+// callbacks builds the measurement hooks for process id. Shared between
+// cluster construction and Rejoin, so a joiner incarnation keeps feeding
+// the same logs.
+func (c *Cluster) callbacks(id mid.ProcID) Callbacks {
+	eng := c.eng
+	return Callbacks{
+		OnBroadcast: func(m *causal.Message) {
+			if c.Trace != nil {
+				c.Trace.Broadcast(eng.Now(), id, m.ID)
+			}
+		},
+		OnWait: func(m *causal.Message, missing mid.DepList) {
+			if c.Trace != nil {
+				c.Trace.Wait(eng.Now(), id, m.ID, missing)
+			}
+		},
+		OnProcess: func(m *causal.Message) {
+			c.ProcessedLog[id] = append(c.ProcessedLog[id], m.ID)
+			c.Delay.Processed(m.ID, eng.Now())
+			if c.Trace != nil {
+				c.Trace.Process(eng.Now(), id, m.ID)
+			}
+		},
+		OnDiscard: func(m *causal.Message) {
+			c.DiscardLog[id] = append(c.DiscardLog[id], m.ID)
+			if c.Trace != nil {
+				c.Trace.Discard(eng.Now(), id, m.ID)
+			}
+		},
+		OnLeave: func(r LeaveReason) {
+			c.Left[id] = r
+			if c.Trace != nil {
+				c.Trace.Leave(eng.Now(), id)
+			}
+		},
+		OnDecision: func(d *wire.Decision) {
+			c.Decisions[id]++
+			if c.OnDecision != nil {
+				c.OnDecision(id, d)
+			}
+		},
+	}
+}
+
+// Rejoin replaces process i with a fresh joiner incarnation attached to the
+// same network slot — the simulated leave/resync/rejoin cycle. The previous
+// entity's volatile state is discarded, as a real restart would lose it;
+// the new one bootstraps through the join protocol against a live sponsor.
+// The Left record of the previous incarnation is cleared: its exit is
+// undone by rejoining, which is the whole point. Callers pairing Rejoin
+// with an injected crash should use a bounded crash (fault.CrashWindow)
+// ending at the rejoin instant, since the cluster driver keeps consulting
+// the injector for liveness. Only direct-datagram clusters (TransportH <=
+// 1) support rejoin.
+func (c *Cluster) Rejoin(i mid.ProcID) error {
+	if int(i) >= c.cfg.N || i < 0 {
+		return fmt.Errorf("core: rejoin of process %d outside group of %d", i, c.cfg.N)
+	}
+	if c.cfg.TransportH > 1 {
+		return fmt.Errorf("core: rejoin is unsupported with interposed transport entities")
+	}
+	cfg := c.cfg.Config
+	cfg.Join = true
+	p, err := NewProcess(i, cfg, netTransport{nw: c.net, self: i}, c.callbacks(i))
+	if err != nil {
+		return err
+	}
+	c.procs[i] = p
+	c.net.Attach(i, p)
+	delete(c.Left, i)
+	return nil
 }
 
 // TransportEntity returns process i's transport entity, or nil when the

@@ -15,9 +15,17 @@
 // Decisions chain across coordinators, so crash recovery is embedded in
 // normal processing: nothing ever blocks, which is the paper's headline
 // property.
+//
+// Dynamic membership rides the same machinery: a (re)starting member
+// solicits a live sponsor for a state transfer (JOIN/JOIN-STATE), installs
+// the group's stability watermark as its past, catches up through the
+// recovery path, and re-enters the view when a coordinator folds its
+// join-flagged REQUEST into a decision — turning the suicide rule from
+// terminal death into leave, resync, rejoin.
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"urcgc/internal/causal"
@@ -45,6 +53,14 @@ type Config struct {
 	// defers generating new ones. Zero disables flow control. The paper
 	// uses 8n.
 	HistoryThreshold int
+	// ThresholdPerAlive, when positive, overrides HistoryThreshold with a
+	// view-scaled budget: generation defers while the history holds at
+	// least ThresholdPerAlive times the number of believed-alive members.
+	// The paper's 8n rule is really about the live group — stability spans
+	// only the members the chain must cover — so after crashes (and before
+	// rejoins) a fixed 8N both under- and over-throttles. 8 reproduces the
+	// paper's setting against the live view.
+	ThresholdPerAlive int
 	// RecoveryBatch caps how many messages of one sequence a single
 	// RECOVER asks for. Zero means DefaultRecoveryBatch.
 	RecoveryBatch int
@@ -64,6 +80,14 @@ type Config struct {
 	// without hearing any believed-alive coordinator. Experiments that
 	// model more consecutive coordinator crashes than K disable it.
 	SelfExclusion bool
+	// Join starts the process as a joiner instead of a founding member: it
+	// solicits a live sponsor for a state transfer (the group's stability
+	// watermark becomes its installed past), then enters the view through
+	// the regular decision circulation by flagging its requests. Until a
+	// decision admits it, it never coordinates, never generates messages
+	// and never self-excludes. This is how a member that committed suicide
+	// returns: leave, resync, rejoin.
+	Join bool
 	// Observers marks diffusion-group members (Section 3): an observer
 	// processes every message and reports to coordinators — so stability
 	// waits for it and atomicity covers it — but it never generates
@@ -101,8 +125,11 @@ func (c Config) Validate() error {
 	if c.SelfExclusion && c.R <= 2*c.K {
 		return fmt.Errorf("core: R = %d must exceed 2K = %d (paper: R > 2K+f)", c.R, 2*c.K)
 	}
-	if c.HistoryThreshold < 0 || c.RecoveryBatch < 0 || c.BatchMax < 0 || c.BatchBytes < 0 {
+	if c.HistoryThreshold < 0 || c.ThresholdPerAlive < 0 || c.RecoveryBatch < 0 || c.BatchMax < 0 || c.BatchBytes < 0 {
 		return fmt.Errorf("core: negative threshold")
+	}
+	if c.Join && c.N < 2 {
+		return fmt.Errorf("core: a joiner needs at least one live sponsor (N >= 2)")
 	}
 	if c.Observers != nil {
 		if len(c.Observers) != c.N {
@@ -236,11 +263,31 @@ type Callbacks struct {
 	// local token-pass event of the rotating-coordinator scheme. A health
 	// layer watching this sees the token position advance (or stall).
 	OnSubrunStart func(subrun int64, coord mid.ProcID)
-	// OnViewChange is invoked whenever the local view loses one or more
-	// members (views only ever shrink under fail-stop), after the
-	// per-member OnCrashDeclared calls. alive is a fresh copy the callee
-	// owns.
+	// OnViewChange is invoked whenever the local view changes composition —
+	// members declared crashed, or a joiner admitted back — after the
+	// per-member OnCrashDeclared/OnMemberJoined calls. alive is a fresh
+	// copy the callee owns.
 	OnViewChange func(alive []bool)
+	// OnMemberJoined is invoked when this process's view re-admits another
+	// member — through a decision, or at the coordinator through the
+	// join-flagged request that produced it — after the stale bookkeeping
+	// of the member's previous incarnation has been dropped.
+	OnMemberJoined func(q mid.ProcID)
+	// OnJoinInstalled is invoked on a joiner when the sponsor's state
+	// transfer is installed, before any message is processed: stable is the
+	// stability watermark the process starts from (everything at or below
+	// it is uniformly stable and will never be processed here). The callee
+	// owns stable.
+	OnJoinInstalled func(stable mid.SeqVector)
+	// OnJoined is invoked on a joiner when a decision admits it into the
+	// view and it resumes full protocol duty.
+	OnJoined func()
+	// OnFastForward is invoked when a recovery answer proves a prefix of
+	// q's sequence was compacted as uniformly stable (nobody retains the
+	// bytes) and the process skips its frontier to "to" instead of waiting
+	// forever — without per-message OnProcess calls. Only a joiner syncing
+	// against a moving stability watermark hits this path.
+	OnFastForward func(q mid.ProcID, to mid.Seq)
 }
 
 // RoundObservation is the per-round gauge sample handed to OnRoundEnd.
@@ -289,6 +336,20 @@ type Process struct {
 	lastProgress      uint64 // processed-sum at the last decision, for the R rule
 	recoveryRequested bool
 
+	// Join-protocol state. A founding member is born synced and never
+	// joining. A joiner stays joining until a decision admits it; synced
+	// flips when the sponsor's state transfer is installed; joinAligning
+	// keeps nextSeq chasing MaxProcessed[self] until the first post-join
+	// Submit, so the new incarnation resumes its sequence past everything
+	// any member holds of the old one.
+	joining      bool
+	synced       bool
+	joinAligning bool
+	// subrunBias aligns the local round clock to the group's subrun
+	// numbering: a restarted member's rounds restart at zero, but its
+	// requests must name the subrun its peers are in to be folded.
+	subrunBias int64
+
 	// missScratch backs the missing-dependency list handed to OnWait, so
 	// steady-state tracing costs no allocation per waiting message.
 	missScratch mid.DepList
@@ -312,6 +373,9 @@ type Stats struct {
 	Decisions   int // decisions computed as coordinator
 	Duplicates  int // duplicate or stale DATA received
 	Batches     int // multi-message DataBatch frames broadcast
+
+	Sponsored    int // JOIN-STATE transfers served to joiners
+	FastForwards int // compacted recovery gaps skipped while syncing
 }
 
 // NewProcess returns a protocol entity for process id. The transport must
@@ -336,6 +400,8 @@ func NewProcess(id mid.ProcID, cfg Config, tp Transport, cb Callbacks) (*Process
 		wait:      waitlist.New(cfg.N),
 		view:      group.NewView(cfg.N),
 		running:   true,
+		joining:   cfg.Join,
+		synced:    !cfg.Join,
 		requests:  make(map[mid.ProcID]*wire.Request),
 		lastClean: mid.NewSeqVector(cfg.N),
 	}, nil
@@ -347,6 +413,10 @@ func (p *Process) ID() mid.ProcID { return p.id }
 // Running reports whether the process is still executing the protocol.
 // Loop-goroutine-only, like every accessor (see the concurrency contract).
 func (p *Process) Running() bool { return p.running }
+
+// Joining reports whether the process is still in the join protocol — not
+// yet admitted into the view by a decision. Loop-goroutine-only.
+func (p *Process) Joining() bool { return p.joining }
 
 // View returns the process's local group view. Loop-goroutine-only, and
 // the returned pointer must not be retained past the calling closure.
@@ -396,6 +466,19 @@ func (p *Process) StableTo() mid.SeqVector { return p.lastClean }
 func (p *Process) Submit(payload []byte, deps mid.DepList) (mid.MID, error) {
 	if !p.running {
 		return mid.MID{}, fmt.Errorf("core: process %d has left the group", p.id)
+	}
+	if p.joining {
+		return mid.MID{}, fmt.Errorf("core: process %d is still joining", p.id)
+	}
+	if p.joinAligning {
+		// Post-admission, the own sequence must catch up first: other
+		// members may hold messages of the previous incarnation up to
+		// nextSeq, and generating before processing them would fork the
+		// sequence at duplicate numbers.
+		if have := p.tracker.LastProcessed(p.id); have < p.nextSeq {
+			return mid.MID{}, fmt.Errorf("core: process %d is resyncing its own sequence (%d of %d)", p.id, have, p.nextSeq)
+		}
+		p.joinAligning = false
 	}
 	if p.cfg.IsObserver(p.id) {
 		return mid.MID{}, fmt.Errorf("core: observer %d cannot generate messages", p.id)
@@ -485,7 +568,7 @@ func (p *Process) StartRound(r int) {
 		return
 	}
 	if r%2 == 0 {
-		p.startSubrun(int64(r / 2))
+		p.startSubrun(int64(r/2) + p.subrunBias)
 	} else {
 		p.decisionPhase()
 	}
@@ -501,7 +584,8 @@ func (p *Process) StartRound(r int) {
 
 func (p *Process) startSubrun(s int64) {
 	// Close the books on the previous subrun: did its coordinator reach us?
-	if s > 0 {
+	// A joiner expects nothing yet and counts no silence.
+	if s > 0 && !p.joining {
 		p.accountCoordinatorSilence(s - 1)
 		if !p.running {
 			return // the silence rule made us leave
@@ -511,10 +595,19 @@ func (p *Process) startSubrun(s int64) {
 	p.decisionThisSub = false
 	p.requests = make(map[mid.ProcID]*wire.Request)
 
+	if p.joining {
+		p.joinSubrun(s)
+		return
+	}
+
 	// Broadcast queued user messages, unless flow control defers: at most
 	// BatchMax per subrun (classically one), split into byte-budgeted
 	// DataBatch frames when more than one leaves at once.
-	if len(p.outbox) > 0 && (p.cfg.HistoryThreshold == 0 || p.hist.Len() < p.cfg.HistoryThreshold) {
+	threshold := p.cfg.HistoryThreshold
+	if p.cfg.ThresholdPerAlive > 0 {
+		threshold = p.cfg.ThresholdPerAlive * p.view.AliveCount()
+	}
+	if len(p.outbox) > 0 && (threshold == 0 || p.hist.Len() < threshold) {
 		p.broadcastOutbox()
 	}
 
@@ -529,6 +622,42 @@ func (p *Process) startSubrun(s int64) {
 	} else {
 		p.tp.Send(coord, req)
 	}
+}
+
+// joinSubrun is a joiner's request phase. Before the state transfer it only
+// solicits a sponsor — it can process nothing until history bases and the
+// processed vector are installed. After it, it reports like any member,
+// flagging the request so the coordinator re-admits it, but it never acts
+// as coordinator and never generates messages.
+func (p *Process) joinSubrun(s int64) {
+	if !p.synced {
+		p.tp.Send(p.sponsorCandidate(s), &wire.Join{Joiner: p.id})
+		return
+	}
+	coord := p.coordinator(s)
+	if p.cb.OnSubrunStart != nil {
+		p.cb.OnSubrunStart(s, coord)
+	}
+	if coord == p.id {
+		// Our (stale) view rotated the token onto us, but nobody treats a
+		// joiner as coordinator before a decision admits it; hold the
+		// report and try the next rotation.
+		return
+	}
+	req := p.buildRequest(s)
+	req.Join = true
+	p.tp.Send(coord, req)
+}
+
+// sponsorCandidate rotates the state-transfer solicitation over the other
+// members, so a joiner is never stuck soliciting a crashed sponsor.
+func (p *Process) sponsorCandidate(s int64) mid.ProcID {
+	n := int64(p.cfg.N)
+	c := mid.ProcID(s % n)
+	if c == p.id {
+		c = mid.ProcID((s + 1) % n)
+	}
+	return c
 }
 
 // batchFrameOverhead is a DataBatch frame's kind(1) + count(2).
@@ -625,7 +754,7 @@ func (p *Process) accountCoordinatorSilence(s int64) {
 }
 
 func (p *Process) decisionPhase() {
-	if p.coordinator(p.subrun) != p.id {
+	if p.joining || p.coordinator(p.subrun) != p.id {
 		return
 	}
 	// Fold in our own (fresh) report.
@@ -641,6 +770,15 @@ func (p *Process) decisionPhase() {
 // Recv handles one delivered PDU.
 func (p *Process) Recv(src mid.ProcID, pdu wire.PDU) {
 	if !p.running {
+		return
+	}
+	if p.joining && !p.synced {
+		// Before the state transfer nothing is processable: history bases,
+		// the processed vector and the own-sequence resume point are not
+		// installed yet. Only the sponsor's answer matters.
+		if js, ok := pdu.(*wire.JoinState); ok {
+			p.installJoinState(js)
+		}
 		return
 	}
 	switch v := pdu.(type) {
@@ -666,9 +804,115 @@ func (p *Process) Recv(src mid.ProcID, pdu wire.PDU) {
 	case *wire.Recover:
 		p.handleRecover(v)
 	case *wire.Retransmit:
-		for _, m := range v.Msgs {
-			p.handleData(m)
+		p.handleRetransmit(v)
+	case *wire.Join:
+		p.handleJoin(v)
+	case *wire.JoinState:
+		// Duplicate sponsor answer after installation; stale by definition.
+	}
+}
+
+// handleJoin answers a joiner's solicitation with a state transfer: the
+// local stability watermark (the joiner's installable past — everything at
+// or below it is uniformly stable, so a fresh history may start above it),
+// the processed vector (the catch-up target), the resume point for the
+// joiner's own sequence, and the freshest decision held (the joiner's entry
+// into the circulation). The transfer is a snapshot of vectors, not bytes:
+// the actual messages flow through the existing recovery path.
+func (p *Process) handleJoin(j *wire.Join) {
+	if p.joining || j.Joiner == p.id || int(j.Joiner) >= p.cfg.N || j.Joiner < 0 {
+		return
+	}
+	p.Stats.Sponsored++
+	p.tp.Send(j.Joiner, &wire.JoinState{
+		Sponsor:   p.id,
+		Resume:    p.tracker.LastProcessed(j.Joiner),
+		Stable:    p.lastClean.Clone(),
+		Processed: p.tracker.Processed().Clone(),
+		Prev:      p.lastDec,
+	})
+}
+
+// installJoinState bootstraps a joiner from the sponsor's snapshot. The
+// stability watermark becomes the installed past — processed vector,
+// history purge bases and the local clean watermark all start there — and
+// the sponsor's view of our old sequence becomes the resume point, so new
+// messages continue it instead of colliding with it. The embedded decision
+// then pulls the joiner into the circulation: its recovery targets fetch
+// everything between the watermark and the group's frontier.
+func (p *Process) installJoinState(js *wire.JoinState) {
+	if len(js.Stable) != p.cfg.N || len(js.Processed) != p.cfg.N {
+		return // not our group's geometry; keep soliciting
+	}
+	if err := p.tracker.Install(js.Stable); err != nil {
+		return
+	}
+	if err := p.hist.InstallBases(js.Stable); err != nil {
+		// Unreachable: nothing is processed (or stored) pre-sync, so the
+		// history is empty. A failure here is a protocol bug.
+		panic(fmt.Sprintf("core: process %d: %v", p.id, err))
+	}
+	copy(p.lastClean, js.Stable)
+	p.nextSeq = js.Resume
+	if floor := js.Stable[p.id]; p.nextSeq < floor {
+		p.nextSeq = floor
+	}
+	p.synced = true
+	p.joinAligning = true
+	if p.cb.OnJoinInstalled != nil {
+		p.cb.OnJoinInstalled(js.Stable.Clone())
+	}
+	if js.Prev != nil {
+		p.handleDecision(js.Prev)
+	}
+}
+
+// becomeJoined ends the join: a decision's view includes us again, so we
+// resume full duty — coordinating, reporting, and (once the own sequence
+// caught up) generating. Counters restart so the self-exclusion rules
+// measure the new incarnation, not the sync.
+func (p *Process) becomeJoined() {
+	p.joining = false
+	p.decisionThisSub = true
+	p.missedCoords = 0
+	p.recoveryFailures = 0
+	if p.cb.OnJoined != nil {
+		p.cb.OnJoined()
+	}
+}
+
+// handleRetransmit ingests a recovery answer. Ranges the responder reports
+// compacted were purged there as uniformly stable — every live member
+// processed them — so a process that cannot fetch the bytes anywhere skips
+// its frontier over the gap instead of waiting forever. Only a joiner
+// syncing against a moving stability watermark can hit that path: a live
+// in-view member is covered by every full-group chain, so stability never
+// outruns what it has processed. The retained messages then flow through
+// the normal data path.
+func (p *Process) handleRetransmit(r *wire.Retransmit) {
+	forwarded := false
+	for _, c := range r.Compacted {
+		if int(c.Proc) >= p.cfg.N || c.Proc < 0 || c.To <= p.tracker.LastProcessed(c.Proc) {
+			continue // out of range, or already past the gap
 		}
+		p.hist.Skip(c.Proc, c.To)
+		p.tracker.FastForward(c.Proc, c.To)
+		p.Stats.FastForwards++
+		forwarded = true
+		if p.cb.OnFastForward != nil {
+			p.cb.OnFastForward(c.Proc, c.To)
+		}
+	}
+	if forwarded {
+		// Waiting copies at or below the new frontier are obsolete
+		// duplicates now; left in place they would present as "ready" and
+		// trip the tracker's contiguity check. Above it, messages may have
+		// become processable.
+		p.wait.DropStale(p.tracker.Processed())
+		p.cascade()
+	}
+	for _, m := range r.Msgs {
+		p.handleData(m)
 	}
 }
 
@@ -763,12 +1007,33 @@ func (p *Process) applyDecision(d *wire.Decision) {
 		p.cb.OnDecision(d)
 	}
 
-	// Group composition: adopt the decision's crash declarations.
+	// Group composition: adopt the decision's membership verdicts.
 	p.adoptMask(d.Alive)
+	if p.joining && d.Subrun > p.subrun {
+		// Chase the group's subrun numbering: a restarted member's round
+		// clock restarts at zero, and requests naming a stale subrun are
+		// never folded.
+		p.subrunBias += d.Subrun - p.subrun
+		p.subrun = d.Subrun
+	}
+	if p.joinAligning && int(p.id) < len(d.MaxProcessed) && d.MaxProcessed[p.id] > p.nextSeq {
+		// Some member holds more of our previous incarnation's sequence
+		// than the sponsor did; resume past it.
+		p.nextSeq = d.MaxProcessed[p.id]
+	}
 	if int(p.id) < len(d.Alive) && !d.Alive[p.id] {
-		// We are supposed dead: commit suicide.
-		p.leave(Suicide)
-		return
+		if !p.joining {
+			// We are supposed dead: commit suicide. (A restart re-enters
+			// through the join protocol: leave, resync, rejoin.)
+			p.leave(Suicide)
+			return
+		}
+		// A joiner expects to be listed dead until a coordinator folds its
+		// join-flagged request; keep soliciting admission.
+	} else if p.joining {
+		// The view includes us: a coordinator admitted our request — or we
+		// restarted before anyone declared the old incarnation crashed.
+		p.becomeJoined()
 	}
 
 	// History cleaning: only a full-group stability vector may purge.
@@ -815,7 +1080,7 @@ func (p *Process) applyDecision(d *wire.Decision) {
 	if p.recoveryRequested {
 		if cur == p.lastProgress {
 			p.recoveryFailures++
-			if p.cfg.SelfExclusion && p.recoveryFailures >= p.cfg.R {
+			if p.cfg.SelfExclusion && !p.joining && p.recoveryFailures >= p.cfg.R {
 				p.leave(RecoveryExhausted)
 				return
 			}
@@ -873,21 +1138,38 @@ func (p *Process) requestRecovery(d *wire.Decision) {
 
 func (p *Process) handleRecover(r *wire.Recover) {
 	var msgs []*causal.Message
+	var compacted []wire.WantRange
 	for _, w := range r.Wants {
-		msgs = append(msgs, p.hist.Range(w.Proc, w.From, w.To)...)
+		got, err := p.hist.Range(w.Proc, w.From, w.To)
+		msgs = append(msgs, got...)
+		var ce *history.CompactedError
+		if errors.As(err, &ce) {
+			// The front of the want was purged here as uniformly stable.
+			// Name the prefix nobody retains, so a joiner can skip it
+			// instead of chasing unreachable bytes through R retries.
+			to := w.To
+			if ce.Base < to {
+				to = ce.Base
+			}
+			compacted = append(compacted, wire.WantRange{Proc: w.Proc, From: w.From, To: to})
+		}
 	}
-	if len(msgs) == 0 {
+	if len(msgs) == 0 && len(compacted) == 0 {
 		return
 	}
 	p.Stats.Retransmits++
 	if p.cb.OnRetransmit != nil {
 		p.cb.OnRetransmit(r.Requester, len(msgs))
 	}
-	p.tp.Send(r.Requester, &wire.Retransmit{Responder: p.id, Msgs: msgs})
+	p.tp.Send(r.Requester, &wire.Retransmit{Responder: p.id, Msgs: msgs, Compacted: compacted})
 }
 
-// adoptMask folds a decision's alive mask into the local view, reporting
-// every alive→crashed transition to the observer.
+// adoptMask folds a decision's alive mask into the local view, in both
+// directions: crash declarations remove members, join admissions restore
+// them. Callers gate on decision freshness (handleDecision drops stale
+// subruns), so the mask never time-travels; a truly crashed member that a
+// stale view wrongly kept is re-declared within K subruns by the same
+// silence counting that declared it the first time.
 func (p *Process) adoptMask(mask []bool) {
 	if p.cb.OnCrashDeclared != nil {
 		for q := 0; q < p.cfg.N && q < len(mask); q++ {
@@ -896,8 +1178,26 @@ func (p *Process) adoptMask(mask []bool) {
 			}
 		}
 	}
-	if removed := p.view.ApplyMask(mask); len(removed) > 0 && p.cb.OnViewChange != nil {
+	removed, added := p.view.Adopt(mask)
+	for _, q := range added {
+		p.noteJoined(q)
+	}
+	if len(removed)+len(added) > 0 && p.cb.OnViewChange != nil {
 		p.cb.OnViewChange(p.view.AliveMask())
+	}
+}
+
+// noteJoined clears the bookkeeping of q's previous incarnation when the
+// view re-admits it: the condemned-suffix mark (the rejoined sequence
+// continues past the resume point and must be processable again), and any
+// stale waiting copies the old incarnation left behind (whatever is still
+// needed re-arrives through recovery; what is not would collide with the
+// re-issued sequence numbers).
+func (p *Process) noteJoined(q mid.ProcID) {
+	p.tracker.Uncondemn(q)
+	p.wait.DropSender(q)
+	if q != p.id && p.cb.OnMemberJoined != nil {
+		p.cb.OnMemberJoined(q)
 	}
 }
 
@@ -947,10 +1247,25 @@ func (p *Process) computeDecision() *wire.Decision {
 		d.MostUpdated[q] = mid.None
 	}
 
-	// Group composition: start from local view folded with the previous
-	// decision's mask (crash knowledge only accrues), then count silence.
+	// Group composition: start from the local view folded with the
+	// previous decision's mask, then fold join admissions, then count
+	// silence. A join-flagged request is a live, synced process asking back
+	// in: re-admit it before Observe so the admission lands in this
+	// decision's mask and its attempts counter restarts at zero (it is in
+	// heard). Everyone else adopts the admission from the mask.
 	if prev != nil {
 		p.adoptMask(prev.Alive)
+	}
+	admitted := false
+	for q := 0; q < n; q++ {
+		sender := mid.ProcID(q)
+		if r, ok := p.requests[sender]; ok && r.Join && p.view.MarkAlive(sender) {
+			p.noteJoined(sender)
+			admitted = true
+		}
+	}
+	if admitted && p.cb.OnViewChange != nil {
+		p.cb.OnViewChange(p.view.AliveMask())
 	}
 	heard := make([]bool, n)
 	for sender := range p.requests {

@@ -89,9 +89,12 @@ func TestDecisionIdempotence(t *testing.T) {
 	}
 }
 
-// TestViewsNeverResurrect: once any decision declares a process crashed, no
-// later (or replayed earlier) decision can bring it back at this member.
-func TestViewsNeverResurrect(t *testing.T) {
+// TestViewResurrection: a stale (replayed) decision can never bring a
+// crashed member back, but a strictly fresher one can — that is how a join
+// admission circulates. The decision is authoritative for the view, gated
+// on subrun ordering; a truly dead member wrongly kept alive is re-declared
+// within K subruns by the same silence counting that declared it first.
+func TestViewResurrection(t *testing.T) {
 	cfg := Config{N: 3, K: 2, R: 5, SelfExclusion: true}
 	p, _ := newProc(t, 0, cfg)
 	dead := &wire.Decision{
@@ -105,13 +108,21 @@ func TestViewsNeverResurrect(t *testing.T) {
 	if p.View().Alive(2) {
 		t.Fatal("crash not applied")
 	}
-	resurrect := dead.Clone()
-	resurrect.Subrun = 6
-	resurrect.Alive = []bool{true, true, true}
-	resurrect.Attempts = []uint8{0, 0, 0}
-	p.Recv(1, resurrect)
+	stale := dead.Clone()
+	stale.Subrun = 4
+	stale.Alive = []bool{true, true, true}
+	stale.Attempts = []uint8{0, 0, 0}
+	p.Recv(1, stale)
 	if p.View().Alive(2) {
-		t.Error("decision resurrected a crashed process")
+		t.Error("stale decision resurrected a crashed process")
+	}
+	admit := dead.Clone()
+	admit.Subrun = 6
+	admit.Alive = []bool{true, true, true}
+	admit.Attempts = []uint8{0, 0, 0}
+	p.Recv(1, admit)
+	if !p.View().Alive(2) {
+		t.Error("fresh decision must re-admit the member (join circulation)")
 	}
 }
 

@@ -65,6 +65,33 @@ func (c Crash) DropRecv(_, dst mid.ProcID, now sim.Time) bool {
 	return c.Crashed(dst, now)
 }
 
+// CrashWindow fail-stops one process for a bounded interval [At, Until):
+// inside the window the process neither sends nor receives; at Until the
+// site is back up — the model for a kill-and-restart experiment, where the
+// new incarnation re-enters the group through the join protocol. (Crash
+// knowledge already spread through decisions does not evaporate: the
+// restarted process is re-admitted by a coordinator, not by the injector.)
+type CrashWindow struct {
+	Proc  mid.ProcID
+	At    sim.Time
+	Until sim.Time
+}
+
+// Crashed implements Injector.
+func (c CrashWindow) Crashed(p mid.ProcID, now sim.Time) bool {
+	return p == c.Proc && now >= c.At && now < c.Until
+}
+
+// DropSend implements Injector. A down sender emits nothing.
+func (c CrashWindow) DropSend(src, _ mid.ProcID, now sim.Time) bool {
+	return c.Crashed(src, now)
+}
+
+// DropRecv implements Injector. A down receiver absorbs nothing.
+func (c CrashWindow) DropRecv(_, dst mid.ProcID, now sim.Time) bool {
+	return c.Crashed(dst, now)
+}
+
 // EveryNth drops every N-th packet it is consulted about, counting all
 // packets globally. This is the deterministic reading of the paper's
 // "one omission failure each 500 messages" (the 1/500 and 1/100 curves of

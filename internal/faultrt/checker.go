@@ -35,6 +35,23 @@ type checkerEntry struct {
 	deps mid.DepList
 }
 
+// incarnation is one lifetime of a member: its processing log plus the
+// stability baseline it joined at. The baseline is nil for a member's first
+// incarnation (it was present at group birth and owes the full prefix);
+// for a rejoined incarnation it is the stable vector installed by the state
+// transfer — everything at or below it was uniformly stable before the
+// incarnation existed, so the invariants treat that prefix as processed.
+type incarnation struct {
+	entries  []checkerEntry
+	baseline mid.SeqVector
+}
+
+// covered reports whether m lies in the incarnation's exempt prefix.
+func (in *incarnation) covered(m mid.MID) bool {
+	return in.baseline != nil && int(m.Proc) < len(in.baseline) &&
+		m.Seq <= in.baseline[m.Proc]
+}
+
 // Checker records every member's processed sequence during a chaos run and
 // asserts, after churn, the paper's two uniform properties:
 //
@@ -45,37 +62,98 @@ type checkerEntry struct {
 //     processed only after every message it causally depends on — its
 //     declared dependencies and its same-sequence predecessor.
 //
+// Members may die and rejoin: Restart closes the current incarnation's log
+// and opens a fresh one anchored at the join baseline. Ordering is checked
+// within every incarnation, live or archived (a crashed prefix must be
+// causally ordered too); atomicity compares survivors' live incarnations,
+// exempting each one's pre-join baseline.
+//
 // Feed it from each member's indication stream (or OnProcess callback);
 // Record is safe for concurrent use. Check is meant for after the run.
 type Checker struct {
-	mu   sync.Mutex
-	logs map[mid.ProcID][]checkerEntry
+	mu       sync.Mutex
+	live     map[mid.ProcID]*incarnation
+	archived map[mid.ProcID][]*incarnation
 }
 
 // NewChecker returns an empty history recorder.
 func NewChecker() *Checker {
-	return &Checker{logs: make(map[mid.ProcID][]checkerEntry)}
+	return &Checker{
+		live:     make(map[mid.ProcID]*incarnation),
+		archived: make(map[mid.ProcID][]*incarnation),
+	}
 }
 
-// Record appends one processed message to node's history, cloning the
-// dependency list.
+func (c *Checker) liveFor(node mid.ProcID) *incarnation {
+	in := c.live[node]
+	if in == nil {
+		in = &incarnation{}
+		c.live[node] = in
+	}
+	return in
+}
+
+// Record appends one processed message to node's current incarnation,
+// cloning the dependency list.
 func (c *Checker) Record(node mid.ProcID, m *causal.Message) {
 	c.mu.Lock()
-	c.logs[node] = append(c.logs[node], checkerEntry{id: m.ID, deps: m.Deps.Clone()})
+	in := c.liveFor(node)
+	in.entries = append(in.entries, checkerEntry{id: m.ID, deps: m.Deps.Clone()})
 	c.mu.Unlock()
 }
 
-// Recorded returns how many processing events node has on record.
+// Recorded returns how many processing events node's current incarnation
+// has on record.
 func (c *Checker) Recorded(node mid.ProcID) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.logs[node])
+	if in := c.live[node]; in != nil {
+		return len(in.entries)
+	}
+	return 0
 }
 
-// Check verifies both invariants: ordering over every recorded member
-// (crashed members' prefixes must be causally ordered too), atomicity over
-// the surviving members only — a crashed member legitimately stops
-// mid-prefix. Returns every violation found, nil when the run was clean.
+// Restart archives node's current incarnation and opens a fresh one with
+// the given join baseline — the stable vector the state transfer installed.
+// Call it when the rejoined incarnation installs its snapshot (the joiner
+// processes nothing before that, so any earlier call timing that still
+// precedes the first post-join Record is equivalent). The archived prefix
+// stays ordering-checked; atomicity moves to the new incarnation, with the
+// baseline prefix exempt.
+func (c *Checker) Restart(node mid.ProcID, baseline mid.SeqVector) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if in := c.live[node]; in != nil && len(in.entries) > 0 {
+		c.archived[node] = append(c.archived[node], in)
+	}
+	c.live[node] = &incarnation{baseline: baseline.Clone()}
+}
+
+// FastForward raises node's baseline entry for proc to at least seq: the
+// recovery machinery told the rejoined incarnation that proc's sequence
+// through seq was purged as uniformly stable, and the incarnation skipped
+// its frontier over the gap instead of processing it.
+func (c *Checker) FastForward(node mid.ProcID, proc mid.ProcID, seq mid.Seq) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	in := c.liveFor(node)
+	if int(proc) < 0 {
+		return
+	}
+	for len(in.baseline) <= int(proc) {
+		in.baseline = append(in.baseline, 0)
+	}
+	if seq > in.baseline[proc] {
+		in.baseline[proc] = seq
+	}
+}
+
+// Check verifies both invariants: ordering over every recorded incarnation
+// (crashed and pre-restart prefixes must be causally ordered too),
+// atomicity over the surviving members' live incarnations only — a crashed
+// member legitimately stops mid-prefix, and a rejoined one legitimately
+// starts past its baseline. Returns every violation found, nil when the
+// run was clean.
 func (c *Checker) Check(survivors []mid.ProcID) []Violation {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -85,54 +163,88 @@ func (c *Checker) Check(survivors []mid.ProcID) []Violation {
 	return out
 }
 
-// orderingLocked asserts Uniform Ordering and no double processing at
-// every recorded member.
+// orderingLocked asserts Uniform Ordering and no double processing within
+// every incarnation of every recorded member.
 func (c *Checker) orderingLocked() []Violation {
 	var out []Violation
-	nodes := make([]mid.ProcID, 0, len(c.logs))
-	for n := range c.logs {
-		nodes = append(nodes, n)
+	nodes := make(map[mid.ProcID]bool, len(c.live))
+	for n := range c.live {
+		nodes[n] = true
 	}
-	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
-	for _, node := range nodes {
-		done := make(map[mid.MID]bool, len(c.logs[node]))
-		for _, e := range c.logs[node] {
-			if done[e.id] {
-				out = append(out, Violation{
-					Invariant: "uniform-ordering", Node: node, Msg: e.id,
-					Detail: "processed twice",
-				})
-				continue
-			}
-			if prev := e.id.Prev(); !prev.IsZero() && !done[prev] {
-				out = append(out, Violation{
-					Invariant: "uniform-ordering", Node: node, Msg: e.id,
-					Detail: fmt.Sprintf("sequence predecessor %v not processed first", prev),
-				})
-			}
-			for _, d := range e.deps {
-				if !done[d] {
-					out = append(out, Violation{
-						Invariant: "uniform-ordering", Node: node, Msg: e.id,
-						Detail: fmt.Sprintf("dependency %v not processed first", d),
-					})
-				}
-			}
-			done[e.id] = true
+	for n := range c.archived {
+		nodes[n] = true
+	}
+	sorted := make([]mid.ProcID, 0, len(nodes))
+	for n := range nodes {
+		sorted = append(sorted, n)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, node := range sorted {
+		for _, in := range c.archived[node] {
+			out = append(out, c.orderingOne(node, in)...)
+		}
+		if in := c.live[node]; in != nil {
+			out = append(out, c.orderingOne(node, in)...)
 		}
 	}
 	return out
 }
 
-// atomicityLocked asserts that the surviving members processed exactly the
-// same message set.
+// orderingOne checks one incarnation's log. Dependencies at or below the
+// incarnation's baseline were uniformly stable before it existed and count
+// as processed.
+func (c *Checker) orderingOne(node mid.ProcID, in *incarnation) []Violation {
+	var out []Violation
+	done := make(map[mid.MID]bool, len(in.entries))
+	have := func(m mid.MID) bool { return done[m] || in.covered(m) }
+	for _, e := range in.entries {
+		if done[e.id] {
+			out = append(out, Violation{
+				Invariant: "uniform-ordering", Node: node, Msg: e.id,
+				Detail: "processed twice",
+			})
+			continue
+		}
+		if in.covered(e.id) {
+			out = append(out, Violation{
+				Invariant: "uniform-ordering", Node: node, Msg: e.id,
+				Detail: "processed below the join baseline",
+			})
+		}
+		if prev := e.id.Prev(); !prev.IsZero() && !have(prev) {
+			out = append(out, Violation{
+				Invariant: "uniform-ordering", Node: node, Msg: e.id,
+				Detail: fmt.Sprintf("sequence predecessor %v not processed first", prev),
+			})
+		}
+		for _, d := range e.deps {
+			if !have(d) {
+				out = append(out, Violation{
+					Invariant: "uniform-ordering", Node: node, Msg: e.id,
+					Detail: fmt.Sprintf("dependency %v not processed first", d),
+				})
+			}
+		}
+		done[e.id] = true
+	}
+	return out
+}
+
+// atomicityLocked asserts that the surviving members' live incarnations
+// processed the same message set, minus each incarnation's exempt baseline
+// prefix.
 func (c *Checker) atomicityLocked(survivors []mid.ProcID) []Violation {
 	var out []Violation
 	union := make(map[mid.MID]mid.ProcID) // message -> one survivor that processed it
 	perNode := make(map[mid.ProcID]map[mid.MID]bool, len(survivors))
 	for _, node := range survivors {
-		set := make(map[mid.MID]bool, len(c.logs[node]))
-		for _, e := range c.logs[node] {
+		in := c.live[node]
+		if in == nil {
+			perNode[node] = nil
+			continue
+		}
+		set := make(map[mid.MID]bool, len(in.entries))
+		for _, e := range in.entries {
 			set[e.id] = true
 			if _, ok := union[e.id]; !ok {
 				union[e.id] = node
@@ -150,12 +262,16 @@ func (c *Checker) atomicityLocked(survivors []mid.ProcID) []Violation {
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 	for _, m := range all {
 		for _, node := range sorted {
-			if !perNode[node][m] {
-				out = append(out, Violation{
-					Invariant: "uniform-atomicity", Node: node, Msg: m,
-					Detail: fmt.Sprintf("processed at survivor %d but not here", union[m]),
-				})
+			if perNode[node][m] {
+				continue
 			}
+			if in := c.live[node]; in != nil && in.covered(m) {
+				continue
+			}
+			out = append(out, Violation{
+				Invariant: "uniform-atomicity", Node: node, Msg: m,
+				Detail: fmt.Sprintf("processed at survivor %d but not here", union[m]),
+			})
 		}
 	}
 	return out

@@ -91,3 +91,79 @@ func TestCheckerCatchesDoubleProcessing(t *testing.T) {
 		t.Fatalf("violations = %v, want one double-processing breach", v)
 	}
 }
+
+// TestCheckerRestartBaseline: a rejoined incarnation that resumes past its
+// join baseline is clean — the baseline prefix is exempt from atomicity and
+// satisfies dependencies — while processing below the baseline, or skipping
+// a message above it, is still flagged.
+func TestCheckerRestartBaseline(t *testing.T) {
+	c := NewChecker()
+	a1, a2, a3 := msg(0, 1), msg(0, 2), msg(0, 3)
+	b1 := msg(1, 1, a2.ID)
+	for _, node := range []mid.ProcID{0, 1} {
+		for _, m := range []*causal.Message{a1, a2, a3, b1} {
+			c.Record(node, m)
+		}
+	}
+	// Node 2 processed a1, died, rejoined at baseline {2,0,0}: its new
+	// incarnation owes only a3 and b1 (whose dep a2 the baseline covers).
+	c.Record(2, a1)
+	c.Restart(2, mid.SeqVector{2, 0, 0})
+	c.Record(2, a3)
+	c.Record(2, b1)
+	if v := c.Check([]mid.ProcID{0, 1, 2}); len(v) != 0 {
+		t.Fatalf("clean rejoin flagged: %v", v)
+	}
+
+	// Skipping a post-baseline message is an atomicity breach again.
+	c2 := NewChecker()
+	c2.Record(0, a1)
+	c2.Record(0, a2)
+	c2.Record(0, a3)
+	c2.Restart(1, mid.SeqVector{2, 0})
+	v := c2.Check([]mid.ProcID{0, 1})
+	if len(v) != 1 || v[0].Invariant != "uniform-atomicity" || v[0].Msg != a3.ID {
+		t.Fatalf("violations = %v, want a3 missing at node 1", v)
+	}
+
+	// Processing below the own baseline is an ordering breach (the join
+	// install must have skipped it).
+	c3 := NewChecker()
+	c3.Restart(0, mid.SeqVector{2})
+	c3.Record(0, a1)
+	v = c3.Check(nil)
+	if len(v) != 1 || v[0].Detail != "processed below the join baseline" {
+		t.Fatalf("violations = %v, want below-baseline breach", v)
+	}
+}
+
+// TestCheckerArchivedOrderingStillChecked: the pre-restart incarnation's
+// log keeps being ordering-checked after the member rejoins.
+func TestCheckerArchivedOrderingStillChecked(t *testing.T) {
+	c := NewChecker()
+	a1 := msg(0, 1)
+	b1 := msg(1, 1, a1.ID)
+	c.Record(0, b1) // dependency violation in the first incarnation
+	c.Restart(0, mid.SeqVector{1, 1})
+	v := c.Check([]mid.ProcID{0})
+	if len(v) != 1 || v[0].Invariant != "uniform-ordering" || v[0].Msg != b1.ID {
+		t.Fatalf("violations = %v, want archived ordering breach", v)
+	}
+	_ = a1
+}
+
+// TestCheckerFastForward: a recovery-driven skip raises the baseline so the
+// skipped range stops counting against atomicity and satisfies deps.
+func TestCheckerFastForward(t *testing.T) {
+	c := NewChecker()
+	a1, a2, a3 := msg(0, 1), msg(0, 2), msg(0, 3)
+	c.Record(0, a1)
+	c.Record(0, a2)
+	c.Record(0, a3)
+	c.Restart(1, mid.SeqVector{1, 0})
+	c.FastForward(1, 0, 2) // (0,2) purged at the responder: skipped
+	c.Record(1, a3)
+	if v := c.Check([]mid.ProcID{0, 1}); len(v) != 0 {
+		t.Fatalf("fast-forwarded rejoin flagged: %v", v)
+	}
+}

@@ -72,6 +72,18 @@ func (v *View) AliveMask() []bool {
 	return append([]bool(nil), v.alive...)
 }
 
+// MarkAlive re-admits process i into the view — the coordinator-side half
+// of a join decision. Re-admitting an already-alive process is a no-op. It
+// returns true if the view changed.
+func (v *View) MarkAlive(i mid.ProcID) bool {
+	if i < 0 || int(i) >= len(v.alive) || v.alive[i] {
+		return false
+	}
+	v.alive[i] = true
+	v.count++
+	return true
+}
+
 // ApplyMask intersects the view with a mask received in a decision: any
 // process the decision declares crashed is removed locally. Processes the
 // decision believes alive but the local view has removed stay removed —
@@ -87,6 +99,33 @@ func (v *View) ApplyMask(mask []bool) []mid.ProcID {
 		}
 	}
 	return removed
+}
+
+// Adopt replaces the view with a decision's alive mask, in both directions:
+// members the decision declares crashed are removed AND members it admits
+// (a joiner entering through decision circulation) are restored. The
+// decision is authoritative because callers gate on subrun ordering — a
+// stale decision never reaches Adopt — and because a truly crashed member
+// that was wrongly resurrected is re-declared within K subruns by the same
+// silence counting that declared it the first time. It returns the members
+// removed and the members added.
+func (v *View) Adopt(mask []bool) (removed, added []mid.ProcID) {
+	for i := range v.alive {
+		if i >= len(mask) {
+			break
+		}
+		switch {
+		case !mask[i] && v.alive[i]:
+			v.alive[i] = false
+			v.count--
+			removed = append(removed, mid.ProcID(i))
+		case mask[i] && !v.alive[i]:
+			v.alive[i] = true
+			v.count++
+			added = append(added, mid.ProcID(i))
+		}
+	}
+	return removed, added
 }
 
 // Equal reports whether two views agree on every member.

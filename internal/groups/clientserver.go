@@ -194,7 +194,8 @@ func (s *Service) apply(server mid.ProcID, id mid.MID) {
 // Stability may already have purged it; in that case the reply from this
 // server is skipped (enough servers reply before stability catches up).
 func (s *Service) lookupPayload(server mid.ProcID, id mid.MID) *causal.Message {
-	return s.C.Proc(server).History().Get(id.Proc, id.Seq)
+	msg, _ := s.C.Proc(server).History().Get(id.Proc, id.Seq)
+	return msg
 }
 
 // Done reports whether a call completed and, if so, its voted output.

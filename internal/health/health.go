@@ -104,6 +104,12 @@ type Status struct {
 	Healthy bool     `json:"healthy"`
 	Samples int64    `json:"samples"`
 	Reasons []Reason `json:"reasons,omitempty"`
+	// Joining reports that the member is (or very recently was)
+	// state-transferring into the group: the rules are suppressed for a
+	// full window because a joiner legitimately freezes the series they
+	// watch (no decisions reach it pre-sync, its history installs in one
+	// jump, its frontier is the sponsor's).
+	Joining bool `json:"joining,omitempty"`
 }
 
 // tokenStalled reports whether the last window values are present and
@@ -163,7 +169,7 @@ type Evaluator struct {
 	bufA, bufB, bufLag []int64
 
 	// Pre-composed series names (the per-node label is fixed).
-	sDecision, sHistory, sWaiting, sProcessed, sStable string
+	sDecision, sHistory, sWaiting, sProcessed, sStable, sJoining string
 }
 
 // NewEvaluator builds an evaluator for the node with the given label
@@ -194,6 +200,7 @@ func newEvaluator(f *obs.Flight, node string, group int, th Thresholds, l func(s
 		sWaiting:   l("core_waiting_len"),
 		sProcessed: l("rt_processed_total"),
 		sStable:    l("core_stable_sum"),
+		sJoining:   l("core_joining"),
 	}
 }
 
@@ -212,6 +219,20 @@ func (e *Evaluator) Eval() Status {
 	for _, w := range []int{e.th.HistoryWindow, e.th.WaitingStuckSamples, e.th.FrontierLagWindow} {
 		if w > max {
 			max = w
+		}
+	}
+
+	// Join grace window: a state-transferring member freezes exactly the
+	// series the rules watch (no decisions pre-sync, history installed in
+	// one jump, frontier borrowed from the sponsor). While any sample in
+	// the widest rule window still shows core_joining set, report the
+	// join instead of false alarms; once the gauge has been clear for a
+	// full window the rules resume on post-join evidence only.
+	e.bufA = e.flight.Tail(e.sJoining, e.bufA[:0], max)
+	for _, v := range e.bufA {
+		if v != 0 {
+			st.Joining = true
+			return st
 		}
 	}
 

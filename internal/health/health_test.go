@@ -89,6 +89,7 @@ type evalHarness struct {
 	waiting   *obs.Gauge
 	processed *obs.Counter
 	stable    *obs.Gauge
+	joining   *obs.Gauge
 }
 
 func newEvalHarness(t *testing.T, th Thresholds) *evalHarness {
@@ -105,6 +106,7 @@ func newEvalHarness(t *testing.T, th Thresholds) *evalHarness {
 		waiting:   reg.Gauge(l("core_waiting_len")),
 		processed: reg.Counter(l("rt_processed_total")),
 		stable:    reg.Gauge(l("core_stable_sum")),
+		joining:   reg.Gauge(l("core_joining")),
 	}
 }
 
@@ -236,6 +238,58 @@ func TestEvaluatorIdleIsHealthy(t *testing.T) {
 	}
 	if st := h.eval.Eval(); !st.Healthy {
 		t.Fatalf("idle node flagged: %v", reasons(st))
+	}
+}
+
+// TestJoiningSuppressesRules pins the join grace window: while the
+// member is state-transferring (and for one full rule window after), the
+// evaluator reports joining instead of firing rules on series the join
+// legitimately freezes — /healthz must not flap 503 across a restart.
+func TestJoiningSuppressesRules(t *testing.T) {
+	th := Thresholds{
+		TokenStallSamples: 4, HistoryWindow: 4, HistoryGrowthMin: 8,
+		WaitingStuckSamples: 4, FrontierLagWindow: 4, FrontierLagMin: 6,
+	}
+	h := newEvalHarness(t, th)
+	for i := 0; i < 6; i++ {
+		h.tickHealthy()
+	}
+
+	// The joiner's token freezes and its waiting list fills — exactly the
+	// evidence token-stall and waiting-stuck fire on. Joining wins.
+	h.joining.Set(1)
+	h.waiting.Set(3)
+	for i := 0; i < 6; i++ {
+		h.flight.Sample()
+	}
+	st := h.eval.Eval()
+	if !st.Joining || !st.Healthy || len(st.Reasons) != 0 {
+		t.Fatalf("joining member flagged: %+v", st)
+	}
+
+	// Join completed: the gauge clears but stale pre-join samples are
+	// still inside the window — the grace period holds.
+	h.joining.Set(0)
+	h.waiting.Set(0)
+	h.tickHealthy()
+	st = h.eval.Eval()
+	if !st.Joining || !st.Healthy {
+		t.Fatalf("grace window did not hold just after join: %+v", st)
+	}
+
+	// A full window of clear samples later the rules are live again.
+	for i := 0; i < 4; i++ {
+		h.tickHealthy()
+	}
+	if st := h.eval.Eval(); st.Joining || !st.Healthy {
+		t.Fatalf("rules did not resume after grace window: %+v", st)
+	}
+	for i := 0; i < 4; i++ {
+		h.flight.Sample() // freeze the token for real this time
+	}
+	st = h.eval.Eval()
+	if st.Joining || st.Healthy || !hasRule(st, "token-stall") {
+		t.Fatalf("post-join stall not flagged: %+v", st)
 	}
 }
 

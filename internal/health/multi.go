@@ -24,6 +24,9 @@ type MultiStatus struct {
 	Samples int64         `json:"samples"`
 	Groups  []Status      `json:"groups"`
 	Reasons []GroupReason `json:"reasons,omitempty"`
+	// Joining reports that at least one hosted group is still inside its
+	// join grace window (that group's rules are suppressed, see Status).
+	Joining bool `json:"joining,omitempty"`
 }
 
 // MultiEvaluator aggregates one per-group Evaluator per hosted group.
@@ -52,6 +55,9 @@ func (m *MultiEvaluator) Eval() MultiStatus {
 		gs := e.Eval()
 		st.Samples = gs.Samples
 		st.Groups = append(st.Groups, gs)
+		if gs.Joining {
+			st.Joining = true
+		}
 		for _, r := range gs.Reasons {
 			st.Reasons = append(st.Reasons, GroupReason{Group: e.group, Rule: r.Rule, Reason: r.Detail})
 		}

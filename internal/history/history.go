@@ -16,11 +16,37 @@
 package history
 
 import (
+	"errors"
 	"fmt"
 
 	"urcgc/internal/causal"
 	"urcgc/internal/mid"
 )
+
+// ErrCompacted is the sentinel for requests that reach into the purged
+// stable prefix of a sequence. Before it existed, Get answered nil and Range
+// silently clipped — indistinguishable from "never stored", so a recovery
+// retry serving a joiner handed back partial data as if it were everything.
+// Errors carrying it are *CompactedError values; test with errors.Is.
+var ErrCompacted = errors.New("history: requested range compacted")
+
+// CompactedError reports that a requested sequence range reaches at or
+// below the purged (uniformly stable) prefix, naming where the retained
+// suffix begins so the caller can fast-forward or re-aim its want.
+type CompactedError struct {
+	Proc mid.ProcID
+	// Base is the highest purged sequence number: every message of the
+	// sequence with seq <= Base is compacted here.
+	Base mid.Seq
+}
+
+// Error implements error.
+func (e *CompactedError) Error() string {
+	return fmt.Sprintf("history: p%d compacted through seq %d", e.Proc, e.Base)
+}
+
+// Is makes errors.Is(err, ErrCompacted) succeed for CompactedError values.
+func (e *CompactedError) Is(target error) bool { return target == ErrCompacted }
 
 // entry holds one sender's retained suffix of messages. The retained
 // messages are msgs[start:]; msgs[start] has sequence number base+1, so the
@@ -70,40 +96,52 @@ func (h *History) Store(m *causal.Message) error {
 	return nil
 }
 
-// Get returns the retained message (q, s), or nil if it is outside the
-// retained range (never stored, or already purged as stable).
-func (h *History) Get(q mid.ProcID, s mid.Seq) *causal.Message {
+// Get returns the retained message (q, s). A request at or below the purged
+// prefix answers a *CompactedError naming the purge base — the message
+// existed here and was released as stable, which is different news than
+// "never stored" (nil, nil): the caller can treat everything up to Base as
+// uniformly delivered instead of waiting for bytes nobody retains.
+func (h *History) Get(q mid.ProcID, s mid.Seq) (*causal.Message, error) {
 	if int(q) >= len(h.entries) || q < 0 || s == 0 {
-		return nil
+		return nil, nil
 	}
 	e := &h.entries[q]
-	if s <= e.base || s > e.base+mid.Seq(len(e.live())) {
-		return nil
+	if s <= e.base {
+		return nil, &CompactedError{Proc: q, Base: e.base}
 	}
-	return e.msgs[e.start+int(s-e.base)-1]
+	if s > e.base+mid.Seq(len(e.live())) {
+		return nil, nil
+	}
+	return e.msgs[e.start+int(s-e.base)-1], nil
 }
 
 // Range returns the retained messages (q, from..to), inclusive, clipped to
-// the retained range. The result is in sequence order.
-func (h *History) Range(q mid.ProcID, from, to mid.Seq) []*causal.Message {
+// the retained range, in sequence order. When the request reaches into the
+// purged prefix (from <= Base(q)) the retained overlap is still returned,
+// but alongside a *CompactedError naming the base, so the caller knows the
+// answer has a stable gap at the front rather than mistaking the clip for
+// the whole range.
+func (h *History) Range(q mid.ProcID, from, to mid.Seq) ([]*causal.Message, error) {
 	if int(q) >= len(h.entries) || q < 0 || to < from {
-		return nil
+		return nil, nil
 	}
 	e := &h.entries[q]
-	if from <= e.base {
+	var gap error
+	if from <= e.base && from >= 1 {
+		gap = &CompactedError{Proc: q, Base: e.base}
 		from = e.base + 1
 	}
 	if hi := e.base + mid.Seq(len(e.live())); to > hi {
 		to = hi
 	}
 	if to < from {
-		return nil
+		return nil, gap
 	}
 	out := make([]*causal.Message, 0, to-from+1)
 	for s := from; s <= to; s++ {
 		out = append(out, e.msgs[e.start+int(s-e.base)-1])
 	}
-	return out
+	return out, gap
 }
 
 // MaxSeq returns the highest sequence number of q ever stored (including
@@ -167,6 +205,72 @@ func (h *History) CleanTo(stable mid.SeqVector) int {
 			}
 			e.start = 0
 		}
+	}
+	return released
+}
+
+// InstallBases sets every sender's purge base to the given stability
+// watermark — the joiner's bootstrap: the history starts logically "already
+// cleaned" through the watermark, so storing resumes at watermark+1 per
+// sequence. Valid only on an empty history; installing over retained
+// messages would corrupt the base/seq invariant.
+func (h *History) InstallBases(watermark mid.SeqVector) error {
+	if h.total != 0 {
+		return fmt.Errorf("history: installing bases over %d retained messages", h.total)
+	}
+	for q := range h.entries {
+		e := &h.entries[q]
+		if len(e.msgs) != 0 {
+			return fmt.Errorf("history: installing bases over non-empty entry p%d", q)
+		}
+		if q < len(watermark) && watermark[q] > e.base {
+			e.base = watermark[q]
+		}
+	}
+	return nil
+}
+
+// Skip advances sender q's purge base to seq, releasing any retained
+// messages at or below it — the receiver-side half of a Compacted
+// fast-forward: the range was purged as uniformly stable everywhere alive,
+// so this history will never store it. Unlike CleanTo, the base may jump
+// past the stored frontier (the skipped messages were never received here).
+// Moving backwards is a no-op. Returns the number of messages released.
+func (h *History) Skip(q mid.ProcID, seq mid.Seq) int {
+	if int(q) >= len(h.entries) || q < 0 {
+		return 0
+	}
+	e := &h.entries[q]
+	if seq <= e.base {
+		return 0
+	}
+	released := 0
+	if hi := e.base + mid.Seq(len(e.live())); seq < hi {
+		// Partial purge of the retained suffix, exactly like CleanTo.
+		drop := int(seq - e.base)
+		for i := e.start; i < e.start+drop; i++ {
+			e.msgs[i] = nil
+		}
+		e.start += drop
+		released = drop
+	} else {
+		// The jump clears (or overshoots) everything retained.
+		released = len(e.live())
+		e.msgs = nil
+		e.start = 0
+	}
+	e.base = seq
+	h.total -= released
+	if e.msgs != nil && e.start*2 >= len(e.msgs) {
+		live := e.live()
+		if len(live) == 0 {
+			e.msgs = nil
+		} else {
+			tail := make([]*causal.Message, len(live))
+			copy(tail, live)
+			e.msgs = tail
+		}
+		e.start = 0
 	}
 	return released
 }

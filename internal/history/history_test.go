@@ -1,6 +1,7 @@
 package history
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -12,6 +13,18 @@ func msg(p mid.ProcID, s mid.Seq) *causal.Message {
 	return &causal.Message{ID: mid.MID{Proc: p, Seq: s}}
 }
 
+// get ignores the gap error where a test only cares about presence.
+func get(h *History, p mid.ProcID, s mid.Seq) *causal.Message {
+	m, _ := h.Get(p, s)
+	return m
+}
+
+// rng ignores the gap error where a test only cares about the clip.
+func rng(h *History, p mid.ProcID, from, to mid.Seq) []*causal.Message {
+	ms, _ := h.Range(p, from, to)
+	return ms
+}
+
 func TestStoreAndGet(t *testing.T) {
 	h := New(3)
 	if err := h.Store(msg(1, 1)); err != nil {
@@ -20,16 +33,16 @@ func TestStoreAndGet(t *testing.T) {
 	if err := h.Store(msg(1, 2)); err != nil {
 		t.Fatal(err)
 	}
-	if got := h.Get(1, 2); got == nil || got.ID.Seq != 2 {
+	if got := get(h, 1, 2); got == nil || got.ID.Seq != 2 {
 		t.Errorf("Get(1,2) = %v", got)
 	}
-	if h.Get(1, 3) != nil {
+	if get(h, 1, 3) != nil {
 		t.Error("Get of unstored message should be nil")
 	}
-	if h.Get(0, 1) != nil {
+	if get(h, 0, 1) != nil {
 		t.Error("Get from empty entry should be nil")
 	}
-	if h.Get(9, 1) != nil || h.Get(-1, 1) != nil {
+	if get(h, 9, 1) != nil || get(h, -1, 1) != nil {
 		t.Error("Get out of range should be nil")
 	}
 	if h.Len() != 2 {
@@ -70,10 +83,10 @@ func TestCleanTo(t *testing.T) {
 	if h.Len() != 2 {
 		t.Errorf("Len = %d, want 2", h.Len())
 	}
-	if h.Get(0, 3) != nil {
-		t.Error("purged message should be gone")
+	if m, err := h.Get(0, 3); m != nil || !errors.Is(err, ErrCompacted) {
+		t.Errorf("purged Get = %v, %v; want nil, ErrCompacted", m, err)
 	}
-	if h.Get(0, 4) == nil {
+	if get(h, 0, 4) == nil {
 		t.Error("retained message should remain")
 	}
 	if h.Base(0) != 3 || h.MaxSeq(0) != 5 {
@@ -121,22 +134,110 @@ func TestRange(t *testing.T) {
 		}
 	}
 	h.CleanTo(mid.SeqVector{2})
-	got := h.Range(0, 1, 4) // clipped to [3,4]
+	got, err := h.Range(0, 1, 4) // clipped to [3,4], with a gap error up front
 	if len(got) != 2 || got[0].ID.Seq != 3 || got[1].ID.Seq != 4 {
 		t.Errorf("Range = %v", got)
 	}
-	if h.Range(0, 7, 9) != nil {
-		t.Error("Range beyond stored should be nil")
+	var gap *CompactedError
+	if !errors.As(err, &gap) || gap.Base != 2 || gap.Proc != 0 {
+		t.Errorf("clipped Range err = %v, want CompactedError{0, 2}", err)
 	}
-	if h.Range(0, 4, 3) != nil {
+	if ms, err := h.Range(0, 7, 9); ms != nil || err != nil {
+		t.Errorf("Range beyond stored = %v, %v", ms, err)
+	}
+	if rng(h, 0, 4, 3) != nil {
 		t.Error("inverted Range should be nil")
 	}
-	if h.Range(5, 1, 2) != nil {
+	if rng(h, 5, 1, 2) != nil {
 		t.Error("Range of unknown proc should be nil")
 	}
-	full := h.Range(0, 3, 6)
-	if len(full) != 4 {
-		t.Errorf("full Range len = %d", len(full))
+	full, err := h.Range(0, 3, 6)
+	if len(full) != 4 || err != nil {
+		t.Errorf("full Range len = %d err = %v", len(full), err)
+	}
+}
+
+// A request entirely inside the compacted prefix answers no data and the
+// typed gap error naming the base — the satellite-2 contract: recovery must
+// learn "that range is stable everywhere" rather than mistaking silence for
+// a hole it keeps retrying.
+func TestRangeFullyCompacted(t *testing.T) {
+	h := New(1)
+	for s := mid.Seq(1); s <= 6; s++ {
+		if err := h.Store(msg(0, s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.CleanTo(mid.SeqVector{4})
+	ms, err := h.Range(0, 1, 3)
+	if len(ms) != 0 {
+		t.Errorf("fully compacted Range returned %d messages", len(ms))
+	}
+	var gap *CompactedError
+	if !errors.As(err, &gap) || gap.Base != 4 {
+		t.Fatalf("err = %v, want CompactedError base 4", err)
+	}
+}
+
+func TestSkip(t *testing.T) {
+	h := New(2)
+	for s := mid.Seq(1); s <= 5; s++ {
+		if err := h.Store(msg(0, s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Partial skip releases the prefix like a clean.
+	if rel := h.Skip(0, 2); rel != 2 {
+		t.Errorf("Skip(0,2) released %d", rel)
+	}
+	if h.Base(0) != 2 || h.MaxSeq(0) != 5 || h.Len() != 3 {
+		t.Errorf("after partial skip: base=%d max=%d len=%d", h.Base(0), h.MaxSeq(0), h.Len())
+	}
+	// Backward skip is a no-op.
+	if rel := h.Skip(0, 1); rel != 0 {
+		t.Errorf("backward Skip released %d", rel)
+	}
+	// Skip past the stored frontier: the base jumps beyond MaxSeq (the
+	// skipped messages were never received here) and storing resumes there.
+	if rel := h.Skip(0, 9); rel != 3 {
+		t.Errorf("Skip(0,9) released %d", rel)
+	}
+	if h.Base(0) != 9 || h.MaxSeq(0) != 9 || h.Len() != 0 {
+		t.Errorf("after jump skip: base=%d max=%d len=%d", h.Base(0), h.MaxSeq(0), h.Len())
+	}
+	if err := h.Store(msg(0, 10)); err != nil {
+		t.Fatalf("store after jump: %v", err)
+	}
+	// Skip on an empty entry positions its base.
+	if h.Skip(1, 7); h.Base(1) != 7 {
+		t.Errorf("empty-entry skip base = %d", h.Base(1))
+	}
+	if h.Skip(5, 1) != 0 || h.Skip(-1, 1) != 0 {
+		t.Error("out-of-range Skip should be a no-op")
+	}
+}
+
+func TestInstallBases(t *testing.T) {
+	h := New(3)
+	if err := h.InstallBases(mid.SeqVector{4, 0, 7}); err != nil {
+		t.Fatal(err)
+	}
+	if h.Base(0) != 4 || h.Base(1) != 0 || h.Base(2) != 7 {
+		t.Errorf("bases = %d,%d,%d", h.Base(0), h.Base(1), h.Base(2))
+	}
+	// Storing resumes at watermark+1, and the prefix answers compacted.
+	if err := h.Store(msg(0, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Store(msg(0, 4)); err == nil {
+		t.Error("store below installed base must fail")
+	}
+	if _, err := h.Get(0, 3); !errors.Is(err, ErrCompacted) {
+		t.Errorf("Get below installed base = %v, want ErrCompacted", err)
+	}
+	// Installing over retained messages is rejected.
+	if err := h.InstallBases(mid.SeqVector{9, 9, 9}); err == nil {
+		t.Error("InstallBases over retained messages must fail")
 	}
 }
 
@@ -193,10 +294,13 @@ func TestHistoryInvariantsUnderRandomOps(t *testing.T) {
 					t.Fatalf("base %d > maxseq %d", base, maxs)
 				}
 				sum += int(maxs - base)
-				if base >= 1 && h.Get(p, base) != nil {
-					t.Fatalf("purged message (%d,%d) still retrievable", q, base)
+				if base >= 1 {
+					m, err := h.Get(p, base)
+					if m != nil || !errors.Is(err, ErrCompacted) {
+						t.Fatalf("purged message (%d,%d): %v, %v", q, base, m, err)
+					}
 				}
-				if maxs > base && h.Get(p, maxs) == nil {
+				if maxs > base && get(h, p, maxs) == nil {
 					t.Fatalf("retained message (%d,%d) missing", q, maxs)
 				}
 			}
@@ -231,7 +335,7 @@ func TestCleanToAmortization(t *testing.T) {
 			t.Fatalf("dead slot %d still pins a message", i)
 		}
 	}
-	if h.Get(0, 3) != nil || h.Get(0, 4) == nil {
+	if get(h, 0, 3) != nil || get(h, 0, 4) == nil {
 		t.Fatal("Get wrong across dead prefix")
 	}
 	// 6 dead of 10 slots: threshold crossed, backing array replaced.
@@ -241,7 +345,7 @@ func TestCleanToAmortization(t *testing.T) {
 	if e.start != 0 || len(e.msgs) != 4 || cap(e.msgs) != 4 {
 		t.Fatalf("start=%d len=%d cap=%d, want compacted (0, 4, 4)", e.start, len(e.msgs), cap(e.msgs))
 	}
-	if got := h.Range(0, 7, 10); len(got) != 4 || got[0].ID.Seq != 7 {
+	if got := rng(h, 0, 7, 10); len(got) != 4 || got[0].ID.Seq != 7 {
 		t.Fatalf("Range after compaction = %v", got)
 	}
 	// Full purge releases the backing array entirely.
@@ -253,7 +357,7 @@ func TestCleanToAmortization(t *testing.T) {
 	if err := h.Store(msg(0, 11)); err != nil {
 		t.Fatal(err)
 	}
-	if h.Get(0, 11) == nil || h.MaxSeq(0) != 11 {
+	if get(h, 0, 11) == nil || h.MaxSeq(0) != 11 {
 		t.Fatal("store after full purge broken")
 	}
 }

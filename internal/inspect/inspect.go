@@ -110,7 +110,7 @@ type NodeProbe struct {
 // Problem is one detected divergence.
 type Problem struct {
 	// Kind is "unreachable", "left", "view-divergence", "token-stall",
-	// "frontier-skew", "progress-skew" or "node-unhealthy".
+	// "frontier-skew", "progress-skew", "node-unhealthy" or "joining".
 	Kind string `json:"kind"`
 	// Group, when set, scopes the problem to one hosted group of a
 	// multi-group cluster; nil means whole-node.
@@ -119,6 +119,10 @@ type Problem struct {
 	Nodes []string `json:"nodes,omitempty"`
 	// Detail elaborates with the numbers.
 	Detail string `json:"detail"`
+	// Informational marks kinds that describe expected transients (a
+	// member mid-join) rather than divergence: they are reported but do
+	// not flip Report.Healthy or the one-shot exit code.
+	Informational bool `json:"informational,omitempty"`
 }
 
 // Report is the reconstructed global picture, the JSON shape urcgc-inspect
@@ -258,13 +262,24 @@ func maskString(alive []bool) string {
 	return b.String()
 }
 
+// joining reports whether the probe's member is mid-join: its own status
+// says so, or its /healthz verdict is still inside the join grace window.
+// A joiner's frozen token and lagging frontier are the join, not a fault,
+// so the divergence rules skip it.
+func joining(p NodeProbe) bool {
+	if !p.Reachable {
+		return false
+	}
+	return (p.Status != nil && p.Status.Joining) || (p.Health != nil && p.Health.Joining)
+}
+
 // skewProblem flags a spread wider than the threshold in one per-node
 // quantity, naming the members that trail the leader by more than it.
 func skewProblem(probes []NodeProbe, threshold int64, kind, what string, value func(NodeProbe) int64) []Problem {
 	var min, max int64
 	first := true
 	for _, p := range probes {
-		if !p.Reachable {
+		if !p.Reachable || joining(p) {
 			continue
 		}
 		v := value(p)
@@ -285,7 +300,7 @@ func skewProblem(probes []NodeProbe, threshold int64, kind, what string, value f
 	}
 	var laggards []string
 	for _, p := range probes {
-		if p.Reachable && max-value(p) > threshold {
+		if p.Reachable && !joining(p) && max-value(p) > threshold {
 			laggards = append(laggards, fmt.Sprintf("%s (member %d, %s %d)", p.Addr, p.Status.ID, what, value(p)))
 		}
 	}
@@ -334,6 +349,18 @@ func groupProblems(probes []NodeProbe, cfg Config) []Problem {
 			}
 			for _, gs := range p.Status.Groups {
 				if gs.Group != gid {
+					continue
+				}
+				if gs.Joining {
+					// The member is still state-transferring into this
+					// group: report it, but keep its frozen numbers out of
+					// the mask and skew evidence.
+					g := gid
+					out = append(out, Problem{
+						Kind: "joining", Group: &g, Nodes: []string{p.Addr}, Informational: true,
+						Detail: fmt.Sprintf("group %d: %s (member %d) is state-transferring back into the group",
+							gid, p.Addr, p.Status.ID),
+					})
 					continue
 				}
 				q := p
@@ -403,10 +430,13 @@ func diagnose(probes []NodeProbe, cfg Config) (problems []Problem, viewsAgree bo
 	}
 
 	// View agreement: every reachable running member must hold the same
-	// alive mask.
+	// alive mask. A mid-join member is excluded: its view is the
+	// sponsor's snapshot until a decision admits it, and it does not yet
+	// appear alive in the others' masks — both disagreements are the join
+	// in progress, not divergence.
 	masks := map[string][]string{}
 	for _, p := range probes {
-		if p.Reachable && p.Status.Running {
+		if p.Reachable && p.Status.Running && !joining(p) {
 			m := maskString(p.Status.Alive)
 			masks[m] = append(masks[m], p.Addr)
 		}
@@ -432,8 +462,10 @@ func diagnose(probes []NodeProbe, cfg Config) (problems []Problem, viewsAgree bo
 	}
 
 	// Token stall: a frozen decision-subrun window on any running member.
+	// A joiner's subrun is legitimately frozen until the sponsor's state
+	// installs, so joiners are exempt.
 	for _, p := range probes {
-		if !p.Reachable || !p.Status.Running || len(p.DecisionTail) < cfg.StallWindow {
+		if !p.Reachable || !p.Status.Running || joining(p) || len(p.DecisionTail) < cfg.StallWindow {
 			continue
 		}
 		frozen := true
@@ -474,6 +506,19 @@ func diagnose(probes []NodeProbe, cfg Config) (problems []Problem, viewsAgree bo
 	}
 	problems = append(problems, perGroup...)
 
+	// Surface mid-join members as informational problems: visible in the
+	// report and in watch mode, but never a failing exit code — a rolling
+	// restart would otherwise flap the one-shot verdict on every member.
+	for _, p := range probes {
+		if joining(p) {
+			problems = append(problems, Problem{
+				Kind: "joining", Nodes: []string{p.Addr}, Informational: true,
+				Detail: fmt.Sprintf("%s (member %d) is state-transferring back into the group",
+					p.Addr, p.Status.ID),
+			})
+		}
+	}
+
 	// Carry through each node's own verdict.
 	for _, p := range probes {
 		if p.Health != nil && !p.Health.Healthy {
@@ -505,7 +550,7 @@ func Collect(ctx context.Context, cfg Config) Report {
 		<-done
 	}
 	r.Problems, r.ViewsAgree = diagnose(r.Nodes, cfg)
-	r.Healthy = len(r.Problems) == 0
+	r.Healthy = healthyProblems(r.Problems)
 	for _, p := range r.Nodes {
 		if p.Reachable {
 			if r.MinFrontier == 0 && r.MaxFrontier == 0 {
@@ -522,10 +567,24 @@ func Collect(ctx context.Context, cfg Config) Report {
 	return r
 }
 
+// healthyProblems reports whether the problem list carries any real
+// divergence. Informational kinds (a member mid-join) never flip the
+// verdict or the one-shot exit code.
+func healthyProblems(problems []Problem) bool {
+	for _, p := range problems {
+		if !p.Informational {
+			return false
+		}
+	}
+	return true
+}
+
 // OneShot probes once and, if problems showed up and a grace period is
 // configured, re-probes after it — transient divergence (a crash still
 // propagating through attempts counters, a frontier catching up) clears
 // itself; only problem kinds present in both rounds are reported.
+// Informational problems are always carried through: they never triggered
+// the re-probe and must not be able to suppress or cause a failure.
 func OneShot(ctx context.Context, cfg Config) Report {
 	first := Collect(ctx, cfg)
 	if first.Healthy || cfg.Grace <= 0 {
@@ -543,12 +602,12 @@ func OneShot(ctx context.Context, cfg Config) Report {
 	}
 	persistent := second.Problems[:0]
 	for _, p := range second.Problems {
-		if seen[p.Kind] {
+		if p.Informational || seen[p.Kind] {
 			persistent = append(persistent, p)
 		}
 	}
 	second.Problems = persistent
-	second.Healthy = len(second.Problems) == 0
+	second.Healthy = healthyProblems(second.Problems)
 	return second
 }
 
@@ -561,16 +620,19 @@ func Summary(r Report) string {
 		}
 	}
 	verdict := "healthy"
-	if !r.Healthy {
-		kinds := map[string]bool{}
-		var order []string
-		for _, p := range r.Problems {
-			if !kinds[p.Kind] {
-				kinds[p.Kind] = true
-				order = append(order, p.Kind)
-			}
+	kinds := map[string]bool{}
+	var order []string
+	for _, p := range r.Problems {
+		if !kinds[p.Kind] {
+			kinds[p.Kind] = true
+			order = append(order, p.Kind)
 		}
+	}
+	if !r.Healthy {
 		verdict = "UNHEALTHY [" + strings.Join(order, ", ") + "]"
+	} else if len(order) > 0 {
+		// Only informational kinds (e.g. a member mid-join): still healthy.
+		verdict = "healthy [" + strings.Join(order, ", ") + "]"
 	}
 	return fmt.Sprintf("%s nodes=%d/%d views_agree=%v frontier=[%d..%d]",
 		verdict, reachable, len(r.Nodes), r.ViewsAgree, r.MinFrontier, r.MaxFrontier)

@@ -416,6 +416,100 @@ func TestSummaryLine(t *testing.T) {
 	}
 }
 
+// TestJoiningMemberIsInformational pins the rejoin grace: a member that is
+// state-transferring back into the group trips none of the divergence
+// rules its join legitimately causes — the stale view mask, the frozen
+// decision subrun, the lagging frontier — and is surfaced only as an
+// informational "joining" problem that leaves the verdict healthy.
+func TestJoiningMemberIsInformational(t *testing.T) {
+	// Survivors still exclude member 2; the joiner reports a full view
+	// from its sponsor's snapshot, a frontier far behind, and no fresh
+	// decisions yet.
+	survivor := func(id int) rt.Status {
+		st := runningStatus(id, 3, 120)
+		st.Alive = []bool{true, true, false}
+		return st
+	}
+	joiner := runningStatus(2, 3, 3)
+	joiner.Joining = true
+	fakes := []*fakeNode{
+		newFakeNode(t, survivor(0)),
+		newFakeNode(t, survivor(1)),
+		newFakeNode(t, joiner),
+	}
+	fakes[2].set(func(f *fakeNode) {
+		f.timeseries = &obs.FlightSnapshot{
+			Samples: 8,
+			Series: map[string][]int64{
+				obs.Labeled("core_decision_subrun", "node", "2"): {7, 7, 7, 7, 7, 7, 7, 7},
+			},
+		}
+	})
+	r := collect(t, Config{Nodes: addrs(fakes), FrontierSkew: 32, StallWindow: 6})
+	if !r.Healthy {
+		t.Fatalf("joining member flipped the verdict: %v", problemKinds(r))
+	}
+	if !r.ViewsAgree {
+		t.Fatal("joiner's stale mask counted as view divergence")
+	}
+	if !hasProblem(r, "joining") {
+		t.Fatalf("join not surfaced: %v", problemKinds(r))
+	}
+	for _, p := range r.Problems {
+		if p.Kind != "joining" {
+			t.Fatalf("rule fired on join evidence: %+v", p)
+		}
+		if !p.Informational || !strings.Contains(p.Detail, "member 2") {
+			t.Fatalf("joining problem malformed: %+v", p)
+		}
+	}
+	if s := Summary(r); !strings.Contains(s, "healthy [joining]") {
+		t.Fatalf("summary hides the join: %q", s)
+	}
+
+	// One-shot with a grace window: the informational problem must not
+	// cost the exit-code verdict a re-probe round either.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	one := OneShot(ctx, Config{Nodes: addrs(fakes), FrontierSkew: 32, StallWindow: 6, Grace: 200 * time.Millisecond})
+	if !one.Healthy || !hasProblem(one, "joining") {
+		t.Fatalf("one-shot verdict with joiner: healthy=%v problems=%v", one.Healthy, problemKinds(one))
+	}
+}
+
+// TestPerGroupJoiningIsInformational is the multi-group variant: one
+// hosted group of one member mid-join is reported against that group,
+// informationally, while the rest of the cluster stays clean.
+func TestPerGroupJoiningIsInformational(t *testing.T) {
+	mkStatus := func(id int, g1 rt.GroupStatus) rt.Status {
+		st := runningStatus(id, 3, 12)
+		st.Groups = []rt.GroupStatus{groupSummary(0, 3, 200, nil), g1}
+		return st
+	}
+	rejoining := groupSummary(1, 3, 5, nil)
+	rejoining.Joining = true
+	fakes := []*fakeNode{
+		newFakeNode(t, mkStatus(0, groupSummary(1, 3, 200, []bool{true, true, false}))),
+		newFakeNode(t, mkStatus(1, groupSummary(1, 3, 200, []bool{true, true, false}))),
+		newFakeNode(t, mkStatus(2, rejoining)),
+	}
+	r := collect(t, Config{Nodes: addrs(fakes)})
+	if !r.Healthy || !r.ViewsAgree {
+		t.Fatalf("per-group join flagged: %v", problemKinds(r))
+	}
+	if !hasProblem(r, "joining") {
+		t.Fatalf("per-group join not surfaced: %v", problemKinds(r))
+	}
+	for _, p := range r.Problems {
+		if p.Kind != "joining" || !p.Informational {
+			t.Fatalf("unexpected problem: %+v", p)
+		}
+		if p.Group == nil || *p.Group != 1 {
+			t.Fatalf("joining problem not scoped to group 1: %+v", p)
+		}
+	}
+}
+
 // groupSummary builds one hosted group's summary for a multi-group fake.
 func groupSummary(group uint32, n int, processed int64, alive []bool) rt.GroupStatus {
 	if alive == nil {

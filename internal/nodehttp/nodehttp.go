@@ -164,6 +164,9 @@ func Mux(o Options) *http.ServeMux {
 func WriteStatusText(w http.ResponseWriter, st rt.Status) {
 	fmt.Fprintf(w, "id         %d of %d\n", st.ID, st.N)
 	fmt.Fprintf(w, "running    %v\n", st.Running)
+	if st.Joining {
+		fmt.Fprintf(w, "joining    true (state transfer in progress)\n")
+	}
 	fmt.Fprintf(w, "subrun     %d (coordinator %d)\n", st.Subrun, st.Coordinator)
 	fmt.Fprintf(w, "processed  %v\n", st.Processed)
 	fmt.Fprintf(w, "stable_to  %v\n", st.StableTo)
@@ -176,8 +179,12 @@ func WriteStatusText(w http.ResponseWriter, st rt.Status) {
 		fmt.Fprintf(w, "groups     %d processed %v\n", len(st.GroupProcessed), st.GroupProcessed)
 	}
 	for _, g := range st.Groups {
-		fmt.Fprintf(w, "group %-4d subrun %d processed %d stable %d waiting %d history %d alive %v\n",
-			g.Group, g.Subrun, g.ProcessedSum, g.StableSum, g.WaitingLen, g.HistoryLen, g.Alive)
+		join := ""
+		if g.Joining {
+			join = " joining"
+		}
+		fmt.Fprintf(w, "group %-4d subrun %d processed %d stable %d waiting %d history %d alive %v%s\n",
+			g.Group, g.Subrun, g.ProcessedSum, g.StableSum, g.WaitingLen, g.HistoryLen, g.Alive, join)
 	}
 }
 

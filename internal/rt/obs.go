@@ -28,6 +28,10 @@ type NodeObs struct {
 	discards    *obs.Counter
 
 	viewChanges *obs.Counter
+	joins       *obs.Counter // completed joins (this member re-entered the view)
+	fastFwds    *obs.Counter // recovery fast-forwards over compacted history
+
+	joiningG *obs.Gauge // 1 while this member is joining, 0 once admitted
 
 	histLen     *obs.Gauge
 	waitLen     *obs.Gauge
@@ -73,6 +77,9 @@ func NewNodeObs(reg *obs.Registry, id mid.ProcID, n int, extraLabels ...string) 
 		crashDecls:  reg.Counter(l("core_crash_declarations_total")),
 		discards:    reg.Counter(l("core_discards_total")),
 		viewChanges: reg.Counter(l("core_view_changes_total")),
+		joins:       reg.Counter(l("core_joins_total")),
+		fastFwds:    reg.Counter(l("core_fast_forwards_total")),
+		joiningG:    reg.Gauge(l("core_joining")),
 		histLen:     reg.Gauge(l("core_history_len")),
 		waitLen:     reg.Gauge(l("core_waiting_len")),
 		pendingLen:  reg.Gauge(l("core_pending_len")),
@@ -164,6 +171,37 @@ func (o *NodeObs) Install(cb core.Callbacks) core.Callbacks {
 		o.waitLen.Set(int64(ro.WaitingLen))
 		o.pendingLen.Set(int64(ro.Pending))
 	}
+	prevInstalled := cb.OnJoinInstalled
+	cb.OnJoinInstalled = func(stable mid.SeqVector) {
+		if prevInstalled != nil {
+			prevInstalled(stable)
+		}
+		// The counter is per-OS-process, but the prefix at or below the
+		// installed watermark was processed by the member's previous
+		// incarnation and is skipped by state transfer. Seed it so the
+		// count stays comparable across the cluster (inspect's
+		// progress-skew rule compares raw totals between members).
+		var sum int64
+		for _, s := range stable {
+			sum += int64(s)
+		}
+		o.processed.Add(sum)
+	}
+	prevJoined := cb.OnJoined
+	cb.OnJoined = func() {
+		if prevJoined != nil {
+			prevJoined()
+		}
+		o.joins.Inc()
+		o.joiningG.Set(0)
+	}
+	prevFF := cb.OnFastForward
+	cb.OnFastForward = func(q mid.ProcID, to mid.Seq) {
+		if prevFF != nil {
+			prevFF(q, to)
+		}
+		o.fastFwds.Inc()
+	}
 	cb.OnRecover = func(mid.ProcID, int) { o.recoveries.Inc() }
 	cb.OnRetransmit = func(_ mid.ProcID, msgs int) { o.retransmits.Add(int64(msgs)) }
 	cb.OnCrashDeclared = func(mid.ProcID) { o.crashDecls.Inc() }
@@ -175,6 +213,20 @@ func (o *NodeObs) Install(cb core.Callbacks) core.Callbacks {
 		o.discards.Inc()
 	}
 	return cb
+}
+
+// MarkJoining publishes whether the member is currently a joiner (the
+// core_joining gauge). Called at process construction; the OnJoined hook
+// clears it when the join completes.
+func (o *NodeObs) MarkJoining(v bool) {
+	if o == nil {
+		return
+	}
+	if v {
+		o.joiningG.Set(1)
+	} else {
+		o.joiningG.Set(0)
+	}
 }
 
 // MarkRound notes the subrun open for decision-latency measurement. Loop

@@ -60,6 +60,20 @@ type Config struct {
 	// also set, stuck-span watchdog lines name the injected fault that
 	// plausibly caused the stall.
 	Fault *faultrt.Hook
+	// JoinInstalled, when non-nil, fires on a restarted member's loop
+	// goroutine the moment its new incarnation installs the sponsor's
+	// state-transfer snapshot — before it processes anything. The chaos
+	// harness rebaselines its invariant checker here.
+	JoinInstalled func(node mid.ProcID, stable mid.SeqVector)
+	// Joined, when non-nil, fires on the member's loop goroutine when a
+	// restarted incarnation is re-admitted by a decision and resumes full
+	// protocol participation.
+	Joined func(node mid.ProcID)
+	// FastForwarded, when non-nil, fires on the member's loop goroutine
+	// when recovery tells it that of's sequence through to was purged as
+	// uniformly stable, so its frontier skipped the gap instead of
+	// processing it.
+	FastForwarded func(node mid.ProcID, of mid.ProcID, to mid.Seq)
 }
 
 func (c *Config) fill() {
@@ -144,6 +158,47 @@ func (c *Cluster) Stop() {
 
 // Node returns member i.
 func (c *Cluster) Node(i mid.ProcID) *Node { return c.nodes[i] }
+
+// Restart revives member i as a joiner — the kill-and-restart experiment.
+// The fresh incarnation solicits a live sponsor, installs the state
+// transfer and re-enters the view through a decision; the suicide rule
+// becomes "leave, resync, rejoin". The swap happens on the node's loop
+// goroutine, so in-flight datagrams never see a half-built entity; the
+// killed flag clears afterwards, which also means the caller must first
+// make sure any Fault injector no longer reports the member crashed, or
+// the next round tick re-kills it. Confirm waiters of the previous
+// incarnation stay registered: a message the new incarnation recovers and
+// processes confirms normally, one lost with the crash waits out its
+// context — exactly a restarted client's uncertainty.
+func (c *Cluster) Restart(ctx context.Context, i mid.ProcID) error {
+	if i < 0 || int(i) >= c.N() {
+		return fmt.Errorf("rt: restart of member %d outside group of %d", i, c.N())
+	}
+	n := c.nodes[i]
+	p, err := n.makeProc(true)
+	if err != nil {
+		return err
+	}
+	done := make(chan struct{})
+	if err := n.enqueueWait(ctx, func() {
+		n.proc = p
+		close(done)
+	}); err != nil {
+		return err
+	}
+	select {
+	case <-done:
+	case <-c.stopCh:
+		return fmt.Errorf("rt: cluster stopped")
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	n.mu.Lock()
+	n.killed = false
+	n.leftWith = nil
+	n.mu.Unlock()
+	return nil
+}
 
 // N returns the group cardinality.
 func (c *Cluster) N() int { return c.cfg.N }
@@ -253,7 +308,18 @@ func newNode(c *Cluster, id mid.ProcID) *Node {
 }
 
 func (n *Node) init() error {
-	cb := core.Callbacks{
+	p, err := n.makeProc(false)
+	if err != nil {
+		return err
+	}
+	n.proc = p
+	return nil
+}
+
+// callbacks builds the node's protocol callbacks: indication fan-out,
+// confirm waiters, leave bookkeeping, and the cluster-level join hooks.
+func (n *Node) callbacks() core.Callbacks {
+	return core.Callbacks{
 		OnProcess: func(m *causal.Message) {
 			n.mu.Lock()
 			if ch, ok := n.waiters[m.ID]; ok {
@@ -276,13 +342,35 @@ func (n *Node) init() error {
 			n.waiters = map[mid.MID]chan struct{}{}
 			n.mu.Unlock()
 		},
+		OnJoinInstalled: func(stable mid.SeqVector) {
+			if n.c.cfg.JoinInstalled != nil {
+				n.c.cfg.JoinInstalled(n.id, stable)
+			}
+		},
+		OnJoined: func() {
+			if n.c.cfg.Joined != nil {
+				n.c.cfg.Joined(n.id)
+			}
+		},
+		OnFastForward: func(q mid.ProcID, to mid.Seq) {
+			if n.c.cfg.FastForwarded != nil {
+				n.c.cfg.FastForwarded(n.id, q, to)
+			}
+		},
 	}
-	p, err := core.NewProcess(n.id, n.c.cfg.Config, meshTransport{n: n}, InstallLifecycle(n.tracer, n.obs.Install(cb)))
+}
+
+// makeProc builds a fresh protocol entity for this member slot, joining or
+// founding.
+func (n *Node) makeProc(join bool) (*core.Process, error) {
+	cfg := n.c.cfg.Config
+	cfg.Join = join
+	p, err := core.NewProcess(n.id, cfg, meshTransport{n: n}, InstallLifecycle(n.tracer, n.obs.Install(n.callbacks())))
 	if err != nil {
-		return err
+		return nil, err
 	}
-	n.proc = p
-	return nil
+	n.obs.MarkJoining(join)
+	return p, nil
 }
 
 // Lifecycle returns the node's message-lifecycle tracer, or nil when

@@ -20,6 +20,11 @@ type Status struct {
 	N int `json:"n"`
 	// Running reports whether the member still executes the protocol.
 	Running bool `json:"running"`
+	// Joining reports whether the member is a restarted incarnation still
+	// working its way back into the view: soliciting a sponsor, installing
+	// the state transfer, or waiting for an admitting decision. A joining
+	// member does not generate and is legitimately behind.
+	Joining bool `json:"joining,omitempty"`
 	// Subrun is the member's current subrun index — the local view of the
 	// token position in the coordinator rotation.
 	Subrun int64 `json:"subrun"`
@@ -62,6 +67,7 @@ type Status struct {
 type GroupStatus struct {
 	Group        uint32        `json:"group"`
 	Running      bool          `json:"running"`
+	Joining      bool          `json:"joining,omitempty"`
 	Subrun       int64         `json:"subrun"`
 	Coordinator  mid.ProcID    `json:"coordinator"`
 	Alive        []bool        `json:"alive"`
@@ -79,6 +85,7 @@ func GroupStatusOf(group uint32, p *core.Process) GroupStatus {
 	return GroupStatus{
 		Group:        group,
 		Running:      p.Running(),
+		Joining:      p.Joining(),
 		Subrun:       p.Subrun(),
 		Coordinator:  p.CurrentCoordinator(),
 		Alive:        append([]bool(nil), p.View().AliveMask()...),
@@ -98,6 +105,7 @@ func StatusOf(p *core.Process) Status {
 		ID:              p.ID(),
 		N:               p.View().N(),
 		Running:         p.Running(),
+		Joining:         p.Joining(),
 		Subrun:          p.Subrun(),
 		Coordinator:     p.CurrentCoordinator(),
 		HistoryLen:      p.HistoryLen(),

@@ -60,6 +60,10 @@ type UDPConfig struct {
 	// member's boundary, so a cluster-wide schedule needs the same seeded
 	// schedule on every member. Nil costs one pointer check per datagram.
 	Fault *faultrt.Hook
+	// Joined, when non-nil, fires on the protocol loop goroutine when a
+	// member started with Config.Join set is re-admitted by a decision and
+	// resumes full participation — the urcgc-node restart path logs it.
+	Joined func()
 }
 
 func (c *UDPConfig) fill() {
@@ -223,6 +227,11 @@ func NewUDPNode(cfg UDPConfig) (*UDPNode, error) {
 			n.waiters = map[mid.MID]chan struct{}{}
 			n.mu.Unlock()
 		},
+		OnJoined: func() {
+			if cfg.Joined != nil {
+				cfg.Joined()
+			}
+		},
 	}
 	if cfg.Lifecycle != nil {
 		opts := *cfg.Lifecycle
@@ -237,6 +246,7 @@ func NewUDPNode(cfg UDPConfig) (*UDPNode, error) {
 		return nil, err
 	}
 	n.proc = proc
+	n.obs.MarkJoining(cfg.Join)
 	if cfg.BatchWindow > 0 {
 		n.coal = NewCoalescer(cfg.BatchWindow, cfg.BatchMax, cfg.BatchBytes,
 			n.enqueueCommand, n.submitNow, n.obs.Coalesced)

@@ -90,6 +90,11 @@ type Config struct {
 	// Logf receives throttled operator-visible warnings; nil means
 	// log.Printf.
 	Logf func(format string, args ...any)
+	// Joined, when non-nil, fires on the owning shard goroutine each time a
+	// member started with Config.Join set is re-admitted into one hosted
+	// group. Groups rejoin independently — a restarted multi-group member
+	// is fully back only once every hosted group has fired.
+	Joined func(group uint32)
 }
 
 func (c *Config) fill(mesh bool) {
@@ -275,12 +280,18 @@ func (m *MultiNode) initSessions(tp func(*session) core.Transport) error {
 				s.mu.Unlock()
 				clear(s.stableWait)
 			},
+			OnJoined: func() {
+				if m.cfg.Joined != nil {
+					m.cfg.Joined(s.group)
+				}
+			},
 		}
 		proc, err := core.NewProcess(m.cfg.Self, m.cfg.Config, tp(s), rt.InstallLifecycle(s.tracer, s.obs.Install(cb)))
 		if err != nil {
 			return fmt.Errorf("topics: group %d: %w", g, err)
 		}
 		s.proc = proc
+		s.obs.MarkJoining(m.cfg.Join)
 		if m.cfg.BatchWindow > 0 {
 			s.coal = rt.NewCoalescer(m.cfg.BatchWindow, m.cfg.BatchMax, m.cfg.BatchBytes,
 				s.shard.enqueueWait, s.submitNow, s.obs.Coalesced)

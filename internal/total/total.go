@@ -188,7 +188,7 @@ func (t *Cluster) emitBatch(m *member) {
 
 // consume routes one causally processed message.
 func (t *Cluster) consume(m *member, id mid.MID) {
-	msg := t.C.Proc(m.id).History().Get(id.Proc, id.Seq)
+	msg, _ := t.C.Proc(m.id).History().Get(id.Proc, id.Seq)
 	if msg == nil {
 		return // already purged; only possible long after application
 	}

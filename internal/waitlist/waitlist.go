@@ -137,6 +137,37 @@ func (l *List) DropDoomed(tr *causal.Tracker) []*causal.Message {
 	}
 }
 
+// DropSender removes every waiting message of q's sequence — the local half
+// of a join adoption: copies buffered from q's old incarnation are stale
+// (any of them still needed is re-fetched through recovery against the
+// decision's catch-up targets), and keeping them would collide with the
+// sequence numbers the rejoined member reissues. Returns how many dropped.
+func (l *List) DropSender(q mid.ProcID) int {
+	dropped := 0
+	for id := range l.byID {
+		if id.Proc == q {
+			delete(l.byID, id)
+			dropped++
+		}
+	}
+	return dropped
+}
+
+// DropStale removes every waiting message whose sequence position is at or
+// below the processed vector — duplicates made obsolete by a fast-forward
+// (a Compacted answer jumped the processed frontier over them). Left in
+// place they would be re-examined as ready and crash the contiguity check.
+func (l *List) DropStale(processed mid.SeqVector) int {
+	dropped := 0
+	for id := range l.byID {
+		if int(id.Proc) < len(processed) && id.Proc >= 0 && id.Seq <= processed[id.Proc] {
+			delete(l.byID, id)
+			dropped++
+		}
+	}
+	return dropped
+}
+
 // All returns the waiting messages in an unspecified order. Intended for
 // tests and trace dumps.
 func (l *List) All() []*causal.Message {

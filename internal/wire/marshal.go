@@ -60,10 +60,15 @@ func MarshalAppend(dst []byte, p PDU) ([]byte, error) {
 		w.u16(uint16(len(v.LastProcessed)))
 		w.seqVec(v.LastProcessed)
 		w.seqVec(v.Waiting)
-		if v.Prev == nil {
-			w.u8(0)
-		} else {
-			w.u8(1)
+		var flags uint8
+		if v.Prev != nil {
+			flags |= 1
+		}
+		if v.Join {
+			flags |= 2
+		}
+		w.u8(flags)
+		if v.Prev != nil {
 			if err := marshalDecisionBody(w, v.Prev); err != nil {
 				return dst, err
 			}
@@ -87,10 +92,41 @@ func MarshalAppend(dst []byte, p PDU) ([]byte, error) {
 		if len(v.Msgs) > MaxBatch {
 			return dst, fmt.Errorf("wire: retransmit of %d messages: %w", len(v.Msgs), ErrTooLarge)
 		}
+		if len(v.Compacted) > MaxWants {
+			return dst, fmt.Errorf("wire: retransmit of %d compacted ranges: %w", len(v.Compacted), ErrTooLarge)
+		}
 		w.i32(int32(v.Responder))
 		w.u16(uint16(len(v.Msgs)))
 		for _, m := range v.Msgs {
 			if err := marshalMsgBody(w, m); err != nil {
+				return dst, err
+			}
+		}
+		w.u16(uint16(len(v.Compacted)))
+		for _, want := range v.Compacted {
+			w.i32(int32(want.Proc))
+			w.u32(uint32(want.From))
+			w.u32(uint32(want.To))
+		}
+	case *Join:
+		w.i32(int32(v.Joiner))
+	case *JoinState:
+		if len(v.Stable) != len(v.Processed) {
+			return dst, fmt.Errorf("wire: joinstate vectors disagree on n (%d vs %d)", len(v.Stable), len(v.Processed))
+		}
+		if len(v.Stable) > MaxVector {
+			return dst, fmt.Errorf("wire: joinstate vectors of %d entries: %w", len(v.Stable), ErrTooLarge)
+		}
+		w.i32(int32(v.Sponsor))
+		w.u32(uint32(v.Resume))
+		w.u16(uint16(len(v.Stable)))
+		w.seqVec(v.Stable)
+		w.seqVec(v.Processed)
+		if v.Prev == nil {
+			w.u8(0)
+		} else {
+			w.u8(1)
+			if err := marshalDecisionBody(w, v.Prev); err != nil {
 				return dst, err
 			}
 		}
@@ -179,14 +215,15 @@ func Unmarshal(buf []byte) (PDU, error) {
 		if err := r.seqVecInto(req.Waiting); err != nil {
 			return nil, err
 		}
-		has, err := r.u8()
+		flags, err := r.u8()
 		if err != nil {
 			return nil, err
 		}
-		if has > 1 {
-			return nil, fmt.Errorf("wire: non-canonical hasPrev byte %#x", has)
+		if flags&^uint8(3) != 0 {
+			return nil, fmt.Errorf("wire: non-canonical request flags %#x", flags)
 		}
-		if has != 0 {
+		req.Join = flags&2 != 0
+		if flags&1 != 0 {
 			req.Prev = &Decision{}
 			if err := unmarshalDecisionBody(r, req.Prev); err != nil {
 				return nil, err
@@ -233,15 +270,89 @@ func Unmarshal(buf []byte) (PDU, error) {
 		if err != nil {
 			return nil, err
 		}
-		rt.Msgs = make([]*causal.Message, cnt)
-		for i := range rt.Msgs {
-			m := &causal.Message{}
-			if err := unmarshalMsgBody(r, m); err != nil {
-				return nil, err
+		if cnt > 0 {
+			rt.Msgs = make([]*causal.Message, cnt)
+			for i := range rt.Msgs {
+				m := &causal.Message{}
+				if err := unmarshalMsgBody(r, m); err != nil {
+					return nil, err
+				}
+				rt.Msgs[i] = m
 			}
-			rt.Msgs[i] = m
+		}
+		ccnt, err := r.u16()
+		if err != nil {
+			return nil, err
+		}
+		if len(r.buf)-r.off < 12*int(ccnt) {
+			return nil, ErrTruncated
+		}
+		if ccnt > 0 {
+			rt.Compacted = make([]WantRange, ccnt)
+			for i := range rt.Compacted {
+				if rt.Compacted[i].Proc, err = r.procID(); err != nil {
+					return nil, err
+				}
+				f, err := r.u32()
+				if err != nil {
+					return nil, err
+				}
+				t, err := r.u32()
+				if err != nil {
+					return nil, err
+				}
+				rt.Compacted[i].From, rt.Compacted[i].To = mid.Seq(f), mid.Seq(t)
+			}
 		}
 		p = rt
+	case KindJoin:
+		j := &Join{}
+		if j.Joiner, err = r.procID(); err != nil {
+			return nil, err
+		}
+		p = j
+	case KindJoinState:
+		js := &JoinState{}
+		if js.Sponsor, err = r.procID(); err != nil {
+			return nil, err
+		}
+		res, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		js.Resume = mid.Seq(res)
+		n16, err := r.u16()
+		if err != nil {
+			return nil, err
+		}
+		n := int(n16)
+		if len(r.buf)-r.off < 8*n {
+			return nil, ErrTruncated
+		}
+		// One arena for both vectors (see unmarshalDecisionBody).
+		u32s := make(mid.SeqVector, 2*n)
+		js.Stable = u32s[:n:n]
+		js.Processed = u32s[n : 2*n : 2*n]
+		if err := r.seqVecInto(js.Stable); err != nil {
+			return nil, err
+		}
+		if err := r.seqVecInto(js.Processed); err != nil {
+			return nil, err
+		}
+		has, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		if has > 1 {
+			return nil, fmt.Errorf("wire: non-canonical hasPrev byte %#x", has)
+		}
+		if has != 0 {
+			js.Prev = &Decision{}
+			if err := unmarshalDecisionBody(r, js.Prev); err != nil {
+				return nil, err
+			}
+		}
+		p = js
 	default:
 		return nil, fmt.Errorf("wire: unknown kind %d", kind)
 	}

@@ -31,6 +31,8 @@ const (
 	KindRecover    Kind = 4 // point-to-point recovery request
 	KindRetransmit Kind = 5 // recovery answer carrying history messages
 	KindDataBatch  Kind = 6 // several user messages in one frame
+	KindJoin       Kind = 7 // joiner's point-to-point contact to a sponsor
+	KindJoinState  Kind = 8 // sponsor's state-transfer snapshot to a joiner
 
 	// CBCAST baseline (internal/cbcast).
 	KindCBData     Kind = 10 // vector-stamped causal broadcast
@@ -70,6 +72,10 @@ func (k Kind) String() string {
 		return "RETRANSMIT"
 	case KindDataBatch:
 		return "DATA-BATCH"
+	case KindJoin:
+		return "JOIN"
+	case KindJoinState:
+		return "JOIN-STATE"
 	case KindCBData:
 		return "CB-DATA"
 	case KindCBAck:
@@ -181,6 +187,11 @@ type Request struct {
 	LastProcessed mid.SeqVector
 	Waiting       mid.SeqVector
 	Prev          *Decision // nil before the first decision is ever received
+	// Join marks the sender as a synced joiner asking the coordinator to
+	// (re-)admit it into the view: the decision closing this subrun carries
+	// Alive[sender]=true with a reset attempts counter. Rides a flag bit in
+	// the byte that used to be hasPrev, so the encoded size is unchanged.
+	Join bool
 }
 
 // Kind implements PDU.
@@ -188,7 +199,7 @@ func (*Request) Kind() Kind { return KindRequest }
 
 // EncodedSize implements PDU.
 func (r *Request) EncodedSize() int {
-	// kind(1) + sender(4) + subrun(8) + n(2) + last(4n) + waiting(4n) + hasPrev(1)
+	// kind(1) + sender(4) + subrun(8) + n(2) + last(4n) + waiting(4n) + flags(1)
 	n := len(r.LastProcessed)
 	s := 1 + 4 + 8 + 2 + 4*n + 4*n + 1
 	if r.Prev != nil {
@@ -284,6 +295,12 @@ func (r *Recover) EncodedSize() int {
 type Retransmit struct {
 	Responder mid.ProcID
 	Msgs      []*causal.Message
+	// Compacted lists wanted ranges the responder has already purged as
+	// uniformly stable (history.ErrCompacted). Purging requires a full-group
+	// decision covering those sequences, so a requester may fast-forward its
+	// processed vector over them instead of waiting for bytes that no alive
+	// member retains.
+	Compacted []WantRange
 }
 
 // Kind implements PDU.
@@ -292,10 +309,64 @@ func (*Retransmit) Kind() Kind { return KindRetransmit }
 // EncodedSize implements PDU.
 func (t *Retransmit) EncodedSize() int {
 	// kind(1) + responder(4) + count(2) + embedded data messages (without
-	// their own kind bytes).
+	// their own kind bytes) + compactedCount(2) + compacted(12 each).
 	s := 1 + 4 + 2
 	for _, m := range t.Msgs {
 		s += 8 + 2 + 8*len(m.Deps) + 2 + len(m.Payload)
+	}
+	return s + 2 + 12*len(t.Compacted)
+}
+
+// Join is a joiner's point-to-point contact to a live sponsor: "send me the
+// state I need to enter the view". It is retried against rotating sponsor
+// candidates until a JoinState answers, so loss is harmless.
+type Join struct {
+	Joiner mid.ProcID
+}
+
+// Kind implements PDU.
+func (*Join) Kind() Kind { return KindJoin }
+
+// EncodedSize implements PDU.
+func (j *Join) EncodedSize() int {
+	// kind(1) + joiner(4)
+	return 1 + 4
+}
+
+// JoinState is a sponsor's state-transfer snapshot: the stability watermark
+// below which history is uniformly delivered everywhere (the joiner installs
+// it as its processed/history base, skipping the compacted prefix), the
+// sequence number the joiner must resume its own generation from, and the
+// sponsor's freshest decision so the joiner adopts the current view and
+// catch-up targets. Messages between the watermark and the group frontier
+// are not carried here — the joiner pulls them through the ordinary
+// Recover/Retransmit path, which is the point: state transfer reuses the
+// R-retry recovery machinery instead of inventing a second one.
+type JoinState struct {
+	Sponsor mid.ProcID
+	// Resume is the next sequence number the joiner assigns to its own
+	// messages: the sponsor's processed count of the joiner's sequence.
+	Resume mid.Seq
+	// Stable is the sponsor's stability watermark (its clean vector from
+	// the freshest full-group decision).
+	Stable mid.SeqVector
+	// Processed is the sponsor's last-processed vector: the catch-up target
+	// the joiner recovers toward.
+	Processed mid.SeqVector
+	// Prev is the sponsor's freshest decision, nil if it holds none.
+	Prev *Decision
+}
+
+// Kind implements PDU.
+func (*JoinState) Kind() Kind { return KindJoinState }
+
+// EncodedSize implements PDU.
+func (j *JoinState) EncodedSize() int {
+	// kind(1) + sponsor(4) + resume(4) + n(2) + stable(4n) + processed(4n) + hasPrev(1)
+	n := len(j.Stable)
+	s := 1 + 4 + 4 + 2 + 4*n + 4*n + 1
+	if j.Prev != nil {
+		s += j.Prev.EncodedSize() - 1 // embedded body carries no kind byte
 	}
 	return s
 }

@@ -112,6 +112,90 @@ func TestRequestNoPrevRoundTrip(t *testing.T) {
 	}
 }
 
+func TestRequestJoinFlagRoundTrip(t *testing.T) {
+	// The join flag rides a bit in the byte that used to be hasPrev, so it
+	// must survive every {Join, Prev} combination without changing the
+	// encoded size.
+	for _, join := range []bool{false, true} {
+		for _, prev := range []*Decision{nil, mkDecision(3)} {
+			r := &Request{
+				Sender:        1,
+				Subrun:        9,
+				LastProcessed: mid.SeqVector{1, 2, 3},
+				Waiting:       mid.SeqVector{0, 5, 0},
+				Prev:          prev,
+				Join:          join,
+			}
+			plain := &Request{
+				Sender: r.Sender, Subrun: r.Subrun,
+				LastProcessed: r.LastProcessed, Waiting: r.Waiting, Prev: r.Prev,
+			}
+			if r.EncodedSize() != plain.EncodedSize() {
+				t.Fatalf("join=%v changed the encoded size: %d vs %d",
+					join, r.EncodedSize(), plain.EncodedSize())
+			}
+			got := roundTrip(t, r).(*Request)
+			if !reflect.DeepEqual(r, got) {
+				t.Errorf("join=%v prev=%v round trip mismatch:\n  in  %+v\n  out %+v",
+					join, prev != nil, r, got)
+			}
+		}
+	}
+}
+
+func TestJoinRoundTrip(t *testing.T) {
+	j := &Join{Joiner: 6}
+	got := roundTrip(t, j).(*Join)
+	if !reflect.DeepEqual(j, got) {
+		t.Errorf("round trip mismatch: %+v vs %+v", j, got)
+	}
+}
+
+func TestJoinStateRoundTrip(t *testing.T) {
+	for _, prev := range []*Decision{nil, mkDecision(4)} {
+		js := &JoinState{
+			Sponsor:   2,
+			Resume:    17,
+			Stable:    mid.SeqVector{4, 3, 9, 1},
+			Processed: mid.SeqVector{6, 3, 12, 2},
+			Prev:      prev,
+		}
+		got := roundTrip(t, js).(*JoinState)
+		if !reflect.DeepEqual(js, got) {
+			t.Errorf("prev=%v round trip mismatch:\n  in  %+v\n  out %+v", prev != nil, js, got)
+		}
+	}
+}
+
+func TestJoinStateVectorMismatchRejected(t *testing.T) {
+	js := &JoinState{Sponsor: 0, Stable: mid.SeqVector{1}, Processed: mid.SeqVector{1, 2}}
+	if _, err := Marshal(js); err == nil {
+		t.Error("mismatched vector lengths must be rejected")
+	}
+}
+
+func TestRetransmitCompactedRoundTrip(t *testing.T) {
+	cases := []*Retransmit{
+		// Compacted alongside recovered bytes.
+		{
+			Responder: 1,
+			Msgs:      []*causal.Message{{ID: mid.MID{Proc: 0, Seq: 5}, Payload: []byte("kept")}},
+			Compacted: []WantRange{{Proc: 0, From: 1, To: 4}},
+		},
+		// Everything wanted was already purged: no messages at all.
+		{
+			Responder: 2,
+			Compacted: []WantRange{{Proc: 0, From: 1, To: 9}, {Proc: 3, From: 2, To: 2}},
+		},
+	}
+	for _, rt := range cases {
+		got := roundTrip(t, rt).(*Retransmit)
+		if !reflect.DeepEqual(rt, got) {
+			t.Errorf("round trip mismatch:\n  in  %+v\n  out %+v", rt, got)
+		}
+	}
+}
+
 func TestRequestVectorMismatchRejected(t *testing.T) {
 	r := &Request{LastProcessed: mid.SeqVector{1}, Waiting: mid.SeqVector{1, 2}}
 	if _, err := Marshal(r); err == nil {
@@ -204,7 +288,10 @@ func TestMarshalAppendPrefix(t *testing.T) {
 		&Request{Sender: 2, Subrun: 7, LastProcessed: mid.SeqVector{1, 2, 3}, Waiting: mid.SeqVector{0, 5, 0}, Prev: mkDecision(3)},
 		mkDecision(8),
 		&Recover{Requester: 4, Wants: []WantRange{{Proc: 0, From: 3, To: 9}}},
-		&Retransmit{Responder: 1, Msgs: []*causal.Message{{ID: mid.MID{Proc: 0, Seq: 1}, Payload: []byte("a")}}},
+		&Retransmit{Responder: 1, Msgs: []*causal.Message{{ID: mid.MID{Proc: 0, Seq: 1}, Payload: []byte("a")}},
+			Compacted: []WantRange{{Proc: 2, From: 1, To: 6}}},
+		&Join{Joiner: 2},
+		&JoinState{Sponsor: 0, Resume: 4, Stable: mid.SeqVector{1, 2, 3}, Processed: mid.SeqVector{2, 2, 4}, Prev: mkDecision(3)},
 	}
 	prefixes := [][]byte{nil, {}, {0xde, 0xad, 0xbe, 0xef}, bytes.Repeat([]byte{7}, 100)}
 	for _, p := range pdus {
@@ -259,7 +346,8 @@ func TestUnmarshalDoesNotAliasInput(t *testing.T) {
 		mkDecision(9),
 		&Retransmit{Responder: 1, Msgs: []*causal.Message{
 			{ID: mid.MID{Proc: 0, Seq: 1}, Payload: []byte("retained")},
-		}},
+		}, Compacted: []WantRange{{Proc: 4, From: 2, To: 8}}},
+		&JoinState{Sponsor: 1, Resume: 3, Stable: mid.SeqVector{5, 5, 5}, Processed: mid.SeqVector{7, 5, 6}, Prev: mkDecision(3)},
 	}
 	for _, p := range pdus {
 		buf, err := Marshal(p)
@@ -312,7 +400,8 @@ func TestGetPutBuf(t *testing.T) {
 func TestKindString(t *testing.T) {
 	for k, want := range map[Kind]string{
 		KindData: "DATA", KindRequest: "REQUEST", KindDecision: "DECISION",
-		KindRecover: "RECOVER", KindRetransmit: "RETRANSMIT", Kind(77): "KIND(77)",
+		KindRecover: "RECOVER", KindRetransmit: "RETRANSMIT",
+		KindJoin: "JOIN", KindJoinState: "JOIN-STATE", Kind(77): "KIND(77)",
 	} {
 		if got := k.String(); got != want {
 			t.Errorf("%d.String() = %q, want %q", k, got, want)
@@ -340,7 +429,7 @@ func TestMarshalRoundTripProperty(t *testing.T) {
 	}
 	for trial := 0; trial < 300; trial++ {
 		var p PDU
-		switch rng.Intn(5) {
+		switch rng.Intn(7) {
 		case 0:
 			p = &Data{Msg: *randMsg()}
 		case 1:
@@ -350,6 +439,7 @@ func TestMarshalRoundTripProperty(t *testing.T) {
 				Subrun:        rng.Int63n(1 << 40),
 				LastProcessed: mid.NewSeqVector(n),
 				Waiting:       mid.NewSeqVector(n),
+				Join:          rng.Intn(4) == 0,
 			}
 			for i := 0; i < n; i++ {
 				req.LastProcessed[i] = mid.Seq(rng.Intn(500))
@@ -368,10 +458,32 @@ func TestMarshalRoundTripProperty(t *testing.T) {
 				rec.Wants = append(rec.Wants, WantRange{Proc: mid.ProcID(rng.Intn(10)), From: f, To: f + mid.Seq(rng.Intn(20))})
 			}
 			p = rec
+		case 4:
+			p = &Join{Joiner: mid.ProcID(rng.Intn(20))}
+		case 5:
+			n := 1 + rng.Intn(12)
+			js := &JoinState{
+				Sponsor:   mid.ProcID(rng.Intn(n)),
+				Resume:    mid.Seq(rng.Intn(500)),
+				Stable:    mid.NewSeqVector(n),
+				Processed: mid.NewSeqVector(n),
+			}
+			for i := 0; i < n; i++ {
+				js.Stable[i] = mid.Seq(rng.Intn(500))
+				js.Processed[i] = js.Stable[i] + mid.Seq(rng.Intn(50))
+			}
+			if rng.Intn(2) == 0 {
+				js.Prev = mkDecision(n)
+			}
+			p = js
 		default:
 			rt := &Retransmit{Responder: mid.ProcID(rng.Intn(10))}
 			for i := rng.Intn(4); i > 0; i-- {
 				rt.Msgs = append(rt.Msgs, randMsg())
+			}
+			for i := rng.Intn(3); i > 0; i-- {
+				f := mid.Seq(1 + rng.Intn(100))
+				rt.Compacted = append(rt.Compacted, WantRange{Proc: mid.ProcID(rng.Intn(10)), From: f, To: f + mid.Seq(rng.Intn(20))})
 			}
 			p = rt
 		}

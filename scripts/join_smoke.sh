@@ -1,0 +1,94 @@
+#!/bin/sh
+# join-smoke: boot a three-member urcgc cluster from the real binaries,
+# kill -9 one member, let the survivors exclude it, then restart it with
+# -join and require the full end-to-end rejoin: state transfer from a live
+# member, re-admission into every view, /healthz 200 on all members, and a
+# healthy one-shot urcgc-inspect verdict. This is the end-to-end gate for
+# dynamic membership: Join/JoinState PDUs -> core join state machine ->
+# rt restart -> joining status/health grace -> inspect informational kind.
+set -eu
+
+GO=${GO:-go}
+BIN=$(mktemp -d)
+trap 'kill $P0 $P1 $P2 2>/dev/null || true; wait 2>/dev/null || true; rm -rf "$BIN"' EXIT
+
+$GO build -o "$BIN/urcgc-node" ./cmd/urcgc-node
+$GO build -o "$BIN/urcgc-inspect" ./cmd/urcgc-inspect
+
+# Fixed loopback ports, chosen high and unusual to avoid collisions (and
+# distinct from inspect_smoke/trace_smoke so the smokes can run in one CI
+# job without racing each other's sockets).
+PEERS=127.0.0.1:17851,127.0.0.1:17852,127.0.0.1:17853
+OBS0=127.0.0.1:18851
+OBS1=127.0.0.1:18852
+OBS2=127.0.0.1:18853
+
+# -chatter keeps each member generating traffic (the protocol's silence
+# detection and the joiner's re-admission both need live subruns);
+# -sample 100ms gives the flight recorder a fast window.
+"$BIN/urcgc-node" -self 0 -peers "$PEERS" -metrics "$OBS0" -round 5ms -sample 100ms -chatter 50ms </dev/null >"$BIN/node0.log" 2>&1 & P0=$!
+"$BIN/urcgc-node" -self 1 -peers "$PEERS" -metrics "$OBS1" -round 5ms -sample 100ms -chatter 50ms </dev/null >"$BIN/node1.log" 2>&1 & P1=$!
+"$BIN/urcgc-node" -self 2 -peers "$PEERS" -metrics "$OBS2" -round 5ms -sample 100ms -chatter 50ms </dev/null >"$BIN/node2.log" 2>&1 & P2=$!
+
+dump_logs() {
+    echo "--- node 0 ---" >&2; cat "$BIN/node0.log" >&2
+    echo "--- node 1 ---" >&2; cat "$BIN/node1.log" >&2
+    echo "--- node 2 ---" >&2; cat "$BIN/node2.log" >&2
+    [ -f "$BIN/node2-rejoin.log" ] && { echo "--- node 2 (rejoin) ---" >&2; cat "$BIN/node2-rejoin.log" >&2; }
+}
+
+# wait_until <tries> <sleep> <message> <cmd...>: retry a probe until it
+# succeeds, dumping the member logs and failing the gate if it never does.
+wait_until() {
+    tries=$1; pause=$2; msg=$3; shift 3
+    n=0
+    until "$@"; do
+        n=$((n + 1))
+        if [ "$n" -ge "$tries" ]; then
+            echo "join-smoke: $msg" >&2
+            dump_logs
+            exit 1
+        fi
+        sleep "$pause"
+    done
+}
+
+# Phase 1: the cluster forms and inspects healthy.
+sleep 2
+wait_until 8 2 "cluster never inspected healthy" \
+    "$BIN/urcgc-inspect" -nodes "$OBS0,$OBS1,$OBS2" -grace 1s >/dev/null
+
+# Phase 2: kill -9 member 2; the survivors' silence detection must
+# exclude it from the view (alive mask [true true false] at member 0).
+kill -9 "$P2"
+wait "$P2" 2>/dev/null || true
+echo "join-smoke: killed member 2, waiting for exclusion"
+excluded() { curl -fsS "http://$OBS0/status" 2>/dev/null | grep -q 'alive.*\[true true false\]'; }
+wait_until 60 0.5 "survivors never excluded the killed member" excluded
+
+# Phase 3: restart member 2 with -join. It must state-transfer, be
+# re-admitted into every member's view, and log the completed join.
+"$BIN/urcgc-node" -self 2 -peers "$PEERS" -metrics "$OBS2" -round 5ms -sample 100ms -chatter 50ms -join </dev/null >"$BIN/node2-rejoin.log" 2>&1 & P2=$!
+echo "join-smoke: restarted member 2 with -join"
+rejoined_log() { grep -q 'rejoined the group' "$BIN/node2-rejoin.log"; }
+wait_until 60 0.5 "restarted member never completed its join" rejoined_log
+readmitted() {
+    for obs in "$OBS0" "$OBS1" "$OBS2"; do
+        curl -fsS "http://$obs/status" 2>/dev/null | grep -q 'alive.*\[true true true\]' || return 1
+    done
+}
+wait_until 60 0.5 "views never re-admitted the restarted member" readmitted
+
+# Phase 4: /healthz answers 200 on every member (the join grace window
+# must not leave a lingering 503), and the cluster-wide verdict is
+# healthy again — the joining state may appear only informationally.
+healthz_ok() {
+    for obs in "$OBS0" "$OBS1" "$OBS2"; do
+        curl -fsS "http://$obs/healthz" >/dev/null 2>&1 || return 1
+    done
+}
+wait_until 30 1 "a member still answers /healthz 503 after the rejoin" healthz_ok
+wait_until 8 2 "cluster never inspected healthy after the rejoin" \
+    "$BIN/urcgc-inspect" -nodes "$OBS0,$OBS1,$OBS2" -grace 1s >/dev/null
+
+echo "join-smoke: member 2 rejoined; cluster healthy"
