@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench bench-smoke bench-throughput bench-groups chaos-smoke chaos-soak inspect-smoke trace-smoke join-smoke clean
+.PHONY: all build test race vet check bench bench-diff bench-smoke bench-throughput bench-groups chaos-smoke chaos-soak inspect-smoke trace-smoke join-smoke capture-smoke clean
 
 all: check
 
@@ -31,8 +31,9 @@ race:
 # benchmark body still runs (one iteration each), a seeded chaos soak
 # upholds the uniform invariants under the race detector, and a live
 # three-member cluster inspects healthy end to end through the real
-# binaries.
-check: vet test race bench-smoke bench-throughput bench-groups chaos-smoke inspect-smoke trace-smoke join-smoke
+# binaries — including the forensic pipeline: capture dumps from real
+# nodes must replay offline to a clean verdict.
+check: vet test race bench-smoke bench-throughput bench-groups chaos-smoke inspect-smoke trace-smoke join-smoke capture-smoke
 
 # inspect-smoke boots three urcgc-node processes, points urcgc-inspect at
 # their observability endpoints, and requires a healthy one-shot verdict —
@@ -51,9 +52,19 @@ trace-smoke:
 # join-smoke is the dynamic-membership end-to-end gate: three urcgc-node
 # processes form a group, one is kill -9'd, the survivors exclude it, and
 # a restart with -join must state-transfer back in, be re-admitted into
-# every view, answer /healthz 200 and leave urcgc-inspect healthy.
+# every view, answer /healthz 200 and leave urcgc-inspect healthy. A
+# failure with URCGC_CAPTURE_DIR set preserves the live members' /capture
+# dumps there for urcgc-replay (CI uploads them as artifacts).
 join-smoke:
 	sh scripts/join_smoke.sh
+
+# capture-smoke is the forensic-pipeline end-to-end gate: three urcgc-node
+# processes with the frame flight recorder on (-capture), a burst of
+# multicast traffic, then urcgc-replay collects every member's /capture
+# dump and must reproduce a clean verdict offline — from the live
+# endpoints and again from the saved dump files.
+capture-smoke:
+	sh scripts/capture_smoke.sh
 
 # chaos-smoke is the CI chaos gate: a short seeded soak (one crash, one
 # healed partition, 1/100 omission bursts, background reordering and
@@ -80,6 +91,14 @@ chaos-soak:
 # "previous" for before/after comparison). Expect a few minutes.
 bench:
 	$(GO) run ./cmd/urcgc-bench -baseline BENCH_BASELINE.json
+
+# bench-diff is the perf regression guard: re-run the guarded families
+# (Wire codec, ThroughputSaturation, GroupScaling) fresh and fail on a
+# >25% ns/op regression against the recorded BENCH_BASELINE.json. Not in
+# `check` — absolute timings on shared CI runners are too noisy to gate
+# merges on; run it locally around perf-sensitive changes.
+bench-diff:
+	$(GO) run ./cmd/urcgc-bench -diff BENCH_BASELINE.json
 
 # bench-smoke executes every benchmark once — a compile-and-run gate,
 # not a measurement.

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"urcgc/internal/benchsuite"
+)
+
+// The -diff mode is the perf regression guard over the trajectory artifact:
+// it re-runs the guarded benchmark families fresh, compares each case's
+// ns/op against the recorded BENCH_BASELINE.json, and fails (exit 1) when
+// any case regressed past the tolerance. Only the families whose numbers
+// the roadmap tracks are guarded — wire codec, saturation throughput, and
+// multi-group scaling; the simulation-level cases (Fig4*, CBCASTRun, …)
+// swing too much run-to-run to gate on.
+
+// diffFamilies are the guarded name prefixes in benchsuite.Baseline:
+// "Wire" covers the whole codec family (Marshal, MarshalAppend, Unmarshal).
+var diffFamilies = []string{"Wire", "ThroughputSaturation", "GroupScaling"}
+
+// diffTolerance is the allowed fractional ns/op growth before a case
+// counts as a regression. Generous on purpose: these run on shared
+// hardware, so the guard is for step-change regressions, not noise.
+const diffTolerance = 0.25
+
+func guarded(name string) bool {
+	for _, p := range diffFamilies {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// runDiff compares a fresh run of the guarded families against the
+// recorded baseline. Returns an error only for operational failures;
+// regressions print a report and exit 1 directly.
+func runDiff(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base baselineFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if base.Schema != baselineSchema {
+		return fmt.Errorf("%s: schema %q, want %q", path, base.Schema, baselineSchema)
+	}
+	recorded := make(map[string]baselineEntry, len(base.Benches))
+	for _, e := range base.Benches {
+		recorded[e.Name] = e
+	}
+
+	type row struct {
+		name               string
+		baseNs, freshNs    float64
+		delta              float64 // fractional change, + is slower
+		regressed, missing bool
+	}
+	var rows []row
+	regressions := 0
+	for _, c := range benchsuite.Baseline() {
+		if !guarded(c.Name) {
+			continue
+		}
+		old, ok := recorded[c.Name]
+		if !ok {
+			// A case the baseline has never seen can't regress; flag it so
+			// the operator refreshes the artifact.
+			rows = append(rows, row{name: c.Name, missing: true})
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "bench %-28s ", c.Name)
+		r := testing.Benchmark(c.F)
+		fresh := float64(r.T.Nanoseconds()) / float64(r.N)
+		delta := (fresh - old.NsPerOp) / old.NsPerOp
+		fmt.Fprintf(os.Stderr, "%12.0f ns/op (baseline %12.0f, %+6.1f%%)\n",
+			fresh, old.NsPerOp, delta*100)
+		reg := delta > diffTolerance
+		if reg {
+			regressions++
+		}
+		rows = append(rows, row{name: c.Name, baseNs: old.NsPerOp, freshNs: fresh, delta: delta, regressed: reg})
+	}
+
+	fmt.Printf("%-28s %14s %14s %8s\n", "bench", "baseline ns/op", "fresh ns/op", "delta")
+	for _, r := range rows {
+		if r.missing {
+			fmt.Printf("%-28s %14s %14s %8s  not in baseline — refresh with -baseline\n",
+				r.name, "-", "-", "-")
+			continue
+		}
+		mark := ""
+		if r.regressed {
+			mark = "  REGRESSION (>" + fmt.Sprintf("%.0f%%", diffTolerance*100) + ")"
+		}
+		fmt.Printf("%-28s %14.0f %14.0f %+7.1f%%%s\n", r.name, r.baseNs, r.freshNs, r.delta*100, mark)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "urcgc-bench: %d case(s) regressed past %.0f%% vs %s\n",
+			regressions, diffTolerance*100, path)
+		os.Exit(1)
+	}
+	fmt.Printf("no regression past %.0f%% in %d guarded cases\n", diffTolerance*100, len(rows))
+	return nil
+}

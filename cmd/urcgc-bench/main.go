@@ -5,6 +5,7 @@
 //
 //	urcgc-bench [-exp fig4|fig5|table1|fig6a|fig6b|all] [-n N] [-k K] [-seed S]
 //	urcgc-bench -baseline BENCH_BASELINE.json [-note "..."]
+//	urcgc-bench -diff BENCH_BASELINE.json
 //
 // Each experiment prints the same rows/series the paper reports. Absolute
 // values depend on the simulated substrate; see EXPERIMENTS.md for the
@@ -14,6 +15,9 @@
 // (internal/benchsuite) through testing.Benchmark and writes the perf
 // trajectory artifact; a pre-existing file's numbers are preserved under
 // "previous" so the artifact carries before/after for the latest change.
+// With -diff, it re-runs the guarded families (wire codec, saturation
+// throughput, multi-group scaling) and exits 1 when any case's ns/op
+// regressed more than 25% against the recorded baseline (`make bench-diff`).
 package main
 
 import (
@@ -31,11 +35,16 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	baseline := flag.String("baseline", "", "record the benchmark baseline to this JSON file and exit")
+	diff := flag.String("diff", "", "re-run the guarded bench families and exit 1 on >25% ns/op regression vs this baseline JSON")
 	note := flag.String("note", "", "annotation stored in the baseline file")
 	flag.Parse()
 
 	if *baseline != "" {
 		exitOn(runBaseline(*baseline, *note))
+		return
+	}
+	if *diff != "" {
+		exitOn(runDiff(*diff))
 		return
 	}
 

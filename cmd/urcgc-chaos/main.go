@@ -7,6 +7,10 @@
 //
 // The fault plan is a pure function of -seed, so a failing run is rerun
 // against the identical scripted adversary by passing the same seed.
+// Every member additionally records its wire traffic into a frame flight
+// recorder (-capture); a violating run dumps the recordings to
+// -capture-dir (default: a fresh temp dir) so urcgc-replay can reproduce
+// and attribute the breach offline.
 //
 //	urcgc-chaos -seed 1 -duration 60s
 //	urcgc-chaos -seed 1 -duration 10s -metrics 127.0.0.1:7780
@@ -42,6 +46,8 @@ func main() {
 		settle   = flag.Duration("settle", 0, "max post-fault convergence wait (default: fault-phase length)")
 		metrics  = flag.String("metrics", "", "HTTP address for /metrics and /events during the soak (empty disables)")
 		slow     = flag.Duration("trace-slow", time.Second, "lifecycle watchdog threshold; stuck spans name the injected fault (0 disables tracing)")
+		capFr    = flag.Int("capture", 1<<15, "frame flight-recorder depth per member (0 disables capture)")
+		capDir   = flag.String("capture-dir", "", "directory for capture dumps on a violating run (default: a fresh temp dir)")
 		quiet    = flag.Bool("q", false, "suppress progress narration")
 	)
 	flag.Parse()
@@ -49,7 +55,8 @@ func main() {
 	cfg := chaos.Config{
 		Seed: *seed, N: *n, K: *k, R: *r,
 		Round: *round, Duration: *duration, Settle: *settle,
-		Metrics: obs.New(),
+		CaptureFrames: *capFr,
+		Metrics:       obs.New(),
 	}
 	if !*quiet {
 		cfg.Logf = func(format string, args ...any) {
@@ -80,6 +87,24 @@ func main() {
 	if ev := cfg.Metrics.Events(); ev != nil && !*quiet {
 		for _, e := range ev.Events() {
 			fmt.Printf("  event %s %s\n", e.At.Format("15:04:05.000"), e.Msg)
+		}
+	}
+	if !rep.Ok() {
+		// A violating run is evidence: dump every member's frame capture
+		// so the breach can be replayed and attributed offline.
+		dir := *capDir
+		if dir == "" {
+			if tmp, err := os.MkdirTemp("", "urcgc-captures-"); err == nil {
+				dir = tmp
+			}
+		}
+		if dir != "" && len(rep.Captures) > 0 {
+			if paths, err := rep.DumpCaptures(dir); err != nil {
+				fmt.Fprintf(os.Stderr, "urcgc-chaos: capture dump failed: %v\n", err)
+			} else if len(paths) > 0 {
+				fmt.Printf("capture dumps written (%d members): replay with\n  urcgc-replay %s\n",
+					len(paths), dir)
+			}
 		}
 	}
 	if !rep.Ok() || !rep.Converged {

@@ -38,6 +38,8 @@
 //	/events      recent trace events (inbox drops and other omissions)
 //	/trace       per-message lifecycle spans: recent completed plus the
 //	             slowest in-flight, waiting ones with their blocking MIDs
+//	/capture     the frame flight recorder's raw wire traffic as a binary
+//	             dump for urcgc-replay (?decode=1 for JSON; needs -capture)
 //	/debug/vars  the same registry as expvar JSON
 //	/debug/pprof CPU/heap/goroutine profiles
 //
@@ -61,6 +63,7 @@ import (
 	"syscall"
 	"time"
 
+	"urcgc/internal/capture"
 	"urcgc/internal/core"
 	"urcgc/internal/health"
 	"urcgc/internal/lifecycle"
@@ -102,6 +105,7 @@ func main() {
 		window    = flag.Int("window", 512, "flight-recorder ring length: samples of history retained")
 		batchWin  = flag.Duration("batch-window", 0, "coalesce submissions arriving within this window into one DataBatch broadcast (0 disables batching)")
 		batchMax  = flag.Int("batch-max", 0, "max messages per subrun drain when batching (0 = default when -batch-window is set)")
+		capFrames = flag.Int("capture", 0, "frame flight-recorder depth: raw wire frames retained for /capture and urcgc-replay (0 disables)")
 	)
 	flag.Parse()
 
@@ -124,14 +128,22 @@ func main() {
 		Join:     *join,
 	}
 
+	var ring *capture.Ring
+	if *capFrames > 0 {
+		ring = capture.New(capture.Options{
+			Node: mid.ProcID(*self), N: cfg.N, K: cfg.K, R: cfg.R,
+			SelfExclusion: cfg.SelfExclusion, MaxFrames: *capFrames,
+		})
+	}
+
 	var (
 		node *member
 		err  error
 	)
 	if *groups > 1 {
-		node, err = newMultiMember(cfg, addrs, *self, *groups, *shards, *round, *batchWin, *traceSlow, reg)
+		node, err = newMultiMember(cfg, addrs, *self, *groups, *shards, *round, *batchWin, *traceSlow, reg, ring)
 	} else {
-		node, err = newSingleMember(cfg, addrs, *self, *round, *batchWin, *traceSlow, reg)
+		node, err = newSingleMember(cfg, addrs, *self, *round, *batchWin, *traceSlow, reg, ring)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "urcgc-node:", err)
@@ -173,6 +185,7 @@ func main() {
 			Status:          node.status,
 			Lifecycle:       node.lifecycle,
 			LifecycleGroups: node.lifecycles,
+			Capture:         ring,
 			Pprof:           true,
 		})
 		ln, err := nodehttp.Serve(*metrics, mux)
@@ -324,7 +337,7 @@ func splitGroup(line string, groups int) (uint32, string) {
 }
 
 func newSingleMember(cfg core.Config, addrs []string, self int,
-	round, batchWin, traceSlow time.Duration, reg *obs.Registry) (*member, error) {
+	round, batchWin, traceSlow time.Duration, reg *obs.Registry, ring *capture.Ring) (*member, error) {
 	var lcOpts *lifecycle.Options
 	if traceSlow > 0 {
 		lcOpts = &lifecycle.Options{SlowThreshold: traceSlow}
@@ -337,6 +350,7 @@ func newSingleMember(cfg core.Config, addrs []string, self int,
 		BatchWindow:   batchWin,
 		Metrics:       reg,
 		Lifecycle:     lcOpts,
+		Capture:       ring,
 		Logf:          log.Printf,
 		Joined: func() {
 			fmt.Printf("member %d rejoined the group (state transfer complete)\n", self)
@@ -369,7 +383,7 @@ func newSingleMember(cfg core.Config, addrs []string, self int,
 }
 
 func newMultiMember(cfg core.Config, addrs []string, self, groups, shards int,
-	round, batchWin, traceSlow time.Duration, reg *obs.Registry) (*member, error) {
+	round, batchWin, traceSlow time.Duration, reg *obs.Registry, ring *capture.Ring) (*member, error) {
 	var lcOpts *lifecycle.Options
 	if traceSlow > 0 {
 		lcOpts = &lifecycle.Options{SlowThreshold: traceSlow}
@@ -384,6 +398,7 @@ func newMultiMember(cfg core.Config, addrs []string, self, groups, shards int,
 		BatchWindow:   batchWin,
 		Metrics:       reg,
 		Lifecycle:     lcOpts,
+		Capture:       ring,
 		Logf:          log.Printf,
 		Joined: func(g uint32) {
 			fmt.Printf("member %d rejoined group %d (state transfer complete)\n", self, g)

@@ -1,0 +1,207 @@
+// Command urcgc-replay re-runs a cluster's captured wire traffic offline
+// and audits the result. It ingests the frame flight recorders of every
+// member — capture dump files (or directories of them), or the live
+// /capture endpoints — merges them into one cluster-wide timeline joined
+// by (group, MID), replays each member's delivered ingress frames through
+// a fresh protocol entity, and re-runs the uniform-atomicity and
+// uniform-ordering audit. A violation observed live either reproduces
+// from the artifacts alone or is refuted by them; a reproduced one is
+// attributed to the first captured frame whose loss broke the invariant.
+//
+//	urcgc-replay capture-node0.bin capture-node1.bin capture-node2.bin
+//	urcgc-replay /tmp/chaos-captures/
+//	urcgc-replay -nodes 127.0.0.1:9100,127.0.0.1:9101 -save dumps/
+//
+// The exit code is 0 on a clean replay, 1 when violations reproduced,
+// 2 on collection or decode errors.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"urcgc/internal/capture"
+	"urcgc/internal/probe"
+	"urcgc/internal/replay"
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "urcgc-replay: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+func main() {
+	var (
+		nodes   = flag.String("nodes", "", "comma-separated addresses to fetch /capture from (instead of dump files)")
+		save    = flag.String("save", "", "directory to save fetched dumps into (with -nodes)")
+		timeout = flag.Duration("timeout", 5*time.Second, "per-request HTTP timeout (with -nodes)")
+		asJSON  = flag.Bool("json", false, "emit the replay result as JSON")
+	)
+	flag.Parse()
+
+	var dumps []*capture.Dump
+	switch {
+	case *nodes != "":
+		dumps = fetch(strings.Split(*nodes, ","), *timeout, *save)
+	case flag.NArg() > 0:
+		dumps = load(flag.Args())
+	default:
+		fail("nothing to replay: pass dump files/directories or -nodes")
+	}
+
+	res, err := replay.Run(dumps)
+	if err != nil {
+		fail("%v", err)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fail("%v", err)
+		}
+	} else {
+		write(res)
+	}
+	if !res.Clean {
+		os.Exit(1)
+	}
+}
+
+// load reads dump files; a directory argument means every regular file
+// inside it (the shape DumpCaptures writes).
+func load(args []string) []*capture.Dump {
+	var paths []string
+	for _, a := range args {
+		st, err := os.Stat(a)
+		if err != nil {
+			fail("%v", err)
+		}
+		if !st.IsDir() {
+			paths = append(paths, a)
+			continue
+		}
+		ents, err := os.ReadDir(a)
+		if err != nil {
+			fail("%v", err)
+		}
+		for _, e := range ents {
+			if e.Type().IsRegular() {
+				paths = append(paths, filepath.Join(a, e.Name()))
+			}
+		}
+	}
+	var dumps []*capture.Dump
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			fail("%v", err)
+		}
+		d, err := capture.Decode(f)
+		f.Close()
+		if err != nil {
+			fail("%s: %v", p, err)
+		}
+		dumps = append(dumps, d)
+	}
+	return dumps
+}
+
+// fetch collects /capture from live members in parallel, optionally
+// persisting each dump before decoding it.
+func fetch(addrs []string, timeout time.Duration, save string) []*capture.Dump {
+	if save != "" {
+		if err := os.MkdirAll(save, 0o755); err != nil {
+			fail("%v", err)
+		}
+	}
+	client := &http.Client{Timeout: timeout}
+	type fetched struct {
+		addr string
+		dump *capture.Dump
+		err  error
+	}
+	results := probe.Fanout(addrs, func(_ int, addr string) fetched {
+		url := probe.NormalizeAddr(addr) + "/capture"
+		body, code, err := probe.Fetch(context.Background(), client, url)
+		if err != nil {
+			return fetched{addr: addr, err: err}
+		}
+		if code != http.StatusOK {
+			return fetched{addr: addr, err: fmt.Errorf("HTTP %d (is the node running with capture enabled?)", code)}
+		}
+		d, err := capture.Decode(strings.NewReader(string(body)))
+		if err != nil {
+			return fetched{addr: addr, err: err}
+		}
+		return fetched{addr: addr, dump: d}
+	})
+	var dumps []*capture.Dump
+	for _, r := range results {
+		if r.err != nil {
+			fail("%s: %v", r.addr, r.err)
+		}
+		if save != "" {
+			path := filepath.Join(save, fmt.Sprintf("capture-node%d.bin", r.dump.Node))
+			f, err := os.Create(path)
+			if err != nil {
+				fail("%v", err)
+			}
+			err = r.dump.Encode(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fail("saving %s: %v", path, err)
+			}
+			fmt.Printf("saved %s (%d records)\n", path, len(r.dump.Records))
+		}
+		dumps = append(dumps, r.dump)
+	}
+	return dumps
+}
+
+// write renders the human-readable verdict.
+func write(res *replay.Result) {
+	fmt.Printf("replayed %d capture dumps\n", res.Dumps)
+	for _, g := range res.Groups {
+		fmt.Printf("\ngroup %d: members %v, survivors %v", g.Group, g.Members, g.Survivors)
+		if len(g.Crashed) > 0 {
+			fmt.Printf(", crashed %v", g.Crashed)
+		}
+		fmt.Printf("\n  fed %d ingress frames (+%d own broadcasts)", g.Fed, g.SelfFed)
+		if g.Undecodable > 0 {
+			fmt.Printf(", %d undecodable", g.Undecodable)
+		}
+		fmt.Println()
+		if len(g.Findings) == 0 {
+			fmt.Println("  invariants hold: uniform atomicity and uniform ordering")
+			continue
+		}
+		fmt.Printf("  %d VIOLATIONS reproduced:\n", len(g.Findings))
+		for _, f := range g.Findings {
+			fmt.Printf("    %s: node %d, %s: %s\n", f.Invariant, f.Node, f.MID, f.Detail)
+			if f.Blocking != nil {
+				fmt.Printf("      blocking frame: node %d capture #%d [%s %s", f.Blocking.Node,
+					f.Blocking.Seq, f.Blocking.Dir, f.Blocking.Verdict)
+				if f.Blocking.Fault != "" {
+					fmt.Printf(" fault=%s", f.Blocking.Fault)
+				}
+				fmt.Printf("] %s\n", f.Blocking.Reason)
+			}
+		}
+	}
+	if res.First != nil {
+		fmt.Printf("\nfirst frame whose loss broke an invariant: node %d capture #%d at %s\n  %s\n",
+			res.First.Node, res.First.Seq, res.First.At, res.First.Reason)
+	}
+	if res.Clean {
+		fmt.Println("\nverdict: clean — the captures reproduce no violation")
+	}
+}

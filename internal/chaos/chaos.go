@@ -19,12 +19,15 @@ package chaos
 import (
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"urcgc/internal/capture"
 	"urcgc/internal/core"
 	"urcgc/internal/faultrt"
 	"urcgc/internal/health"
@@ -64,6 +67,16 @@ type Config struct {
 	// SendTimeout abandons a confirm wait (default max(100*Round, 200ms));
 	// abandoned sends are legal — the message stays in flight.
 	SendTimeout time.Duration
+	// CaptureFrames, when positive, arms a frame flight recorder of that
+	// many records on every member (internal/capture); the rings ride the
+	// Report so a violating run can be dumped and replayed offline.
+	CaptureFrames int
+	// CaptureBytes bounds each ring's retained frame bytes (0 = default).
+	CaptureBytes int
+	// Inject, when non-nil, layers an extra scripted adversary onto the
+	// seeded schedule — tests use it for targeted faults (a permanent
+	// partition, say) the background plan never generates.
+	Inject faultrt.Injector
 	// Metrics, when non-nil, receives the cluster's and the injector's
 	// instruments (faultrt_injected_total{kind} among them).
 	Metrics *obs.Registry
@@ -140,6 +153,41 @@ type Report struct {
 	// HealthRecovered reports whether every survivor's verdict returned
 	// to healthy after the faults cleared.
 	HealthRecovered bool
+	// Captures holds each member's frame flight recorder when
+	// Config.CaptureFrames armed one; DumpCaptures persists them.
+	Captures []*capture.Ring
+}
+
+// DumpCaptures writes every member's capture ring to dir as
+// capture-node<N>.bin (the /capture binary format urcgc-replay ingests),
+// returning the written paths. It is a no-op without armed rings.
+func (r *Report) DumpCaptures(dir string) ([]string, error) {
+	if len(r.Captures) == 0 {
+		return nil, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, ring := range r.Captures {
+		if ring == nil {
+			continue
+		}
+		path := filepath.Join(dir, fmt.Sprintf("capture-node%d.bin", ring.Node()))
+		f, err := os.Create(path)
+		if err != nil {
+			return paths, err
+		}
+		err = ring.Snapshot().Encode(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return paths, fmt.Errorf("dumping %s: %w", path, err)
+		}
+		paths = append(paths, path)
+	}
+	return paths, nil
 }
 
 // Ok reports whether the run upheld both uniform properties.
@@ -202,7 +250,28 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	}
 	sched := faultrt.NewSchedule(cfg.Seed, cfg.N, cfg.Duration, cfg.Round, cfg.K)
 	logf("%s", sched)
-	hook := faultrt.NewHook(sched.Injector(), cfg.Metrics)
+	inj := faultrt.Injector(sched.Injector())
+	if cfg.Inject != nil {
+		inj = faultrt.Multi{inj, cfg.Inject}
+	}
+	hook := faultrt.NewHook(inj, cfg.Metrics)
+	var rings []*capture.Ring
+	if cfg.CaptureFrames > 0 {
+		rings = make([]*capture.Ring, cfg.N)
+		for i := range rings {
+			rings[i] = capture.New(capture.Options{
+				Node: mid.ProcID(i), N: cfg.N, K: cfg.K, R: cfg.R,
+				MaxFrames: cfg.CaptureFrames, MaxBytes: cfg.CaptureBytes,
+			})
+		}
+		// The hook sees every crash verdict first; the mark fences the
+		// member's ring so replay knows its silence is death, not loss.
+		hook.OnCrash = func(p mid.ProcID, _ time.Duration) {
+			if int(p) < len(rings) {
+				rings[p].Mark(capture.Crash, faultrt.KindSet(0).With(faultrt.KindCrash))
+			}
+		}
+	}
 	cl, err := rt.NewCluster(rt.Config{
 		Config:        core.Config{N: cfg.N, K: cfg.K, R: cfg.R, BatchMax: cfg.BatchMax},
 		RoundDuration: cfg.Round,
@@ -210,6 +279,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		Metrics:       cfg.Metrics,
 		Lifecycle:     cfg.Lifecycle,
 		Fault:         hook,
+		Captures:      rings,
 	})
 	if err != nil {
 		return nil, err
@@ -340,6 +410,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		Left:            make(map[mid.ProcID]core.LeaveReason),
 		Processed:       make(map[mid.ProcID]int),
 		Converged:       converged,
+		Captures:        rings,
 	}
 	for i := 0; i < cfg.N; i++ {
 		p := mid.ProcID(i)

@@ -18,9 +18,10 @@ import (
 func TestSmokeSoak(t *testing.T) {
 	reg := obs.New()
 	cfg := Config{
-		Seed:     41,
-		Duration: 1500 * time.Millisecond,
-		Metrics:  reg,
+		Seed:          41,
+		Duration:      1500 * time.Millisecond,
+		CaptureFrames: 1 << 15,
+		Metrics:       reg,
 		Lifecycle: &lifecycle.Options{
 			SlowThreshold: 250 * time.Millisecond,
 		},
@@ -87,6 +88,16 @@ func assessSoak(t *testing.T, rep *Report, reg *obs.Registry) {
 	if !rep.Ok() {
 		for _, v := range rep.Violations {
 			t.Errorf("invariant violated: %v", v)
+		}
+		// Preserve the evidence: with URCGC_CAPTURE_DIR set (CI exports
+		// it), a violating soak dumps every member's frame capture for
+		// offline replay with urcgc-replay.
+		if dir := os.Getenv("URCGC_CAPTURE_DIR"); dir != "" {
+			if paths, err := rep.DumpCaptures(dir); err != nil {
+				t.Logf("capture dump failed: %v", err)
+			} else if len(paths) > 0 {
+				t.Logf("capture dumps written: %v — replay with: urcgc-replay %s", paths, dir)
+			}
 		}
 	}
 	if !rep.Converged {

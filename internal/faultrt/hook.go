@@ -47,6 +47,13 @@ type blameRec struct {
 // the lifecycle watchdog. A nil *Hook is valid and injects nothing, so the
 // runtime threads it without branching.
 type Hook struct {
+	// OnCrash, when non-nil, fires once per process on its first crashed
+	// verdict, after the hook's lock is released — the chaos harness uses
+	// it to put a crash mark on the member's capture ring, so an offline
+	// replay can derive the survivor set from the dumps alone. Set it
+	// before the hook is shared with the runtime.
+	OnCrash func(p mid.ProcID, at time.Duration)
+
 	mu  sync.Mutex
 	inj Injector
 
@@ -108,11 +115,12 @@ func (h *Hook) Crashed(p mid.ProcID) bool {
 		return false
 	}
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	now := h.now()
 	if !h.inj.Crashed(p, now) {
+		h.mu.Unlock()
 		return false
 	}
+	first := false
 	if !h.crashSeen[p] {
 		h.crashSeen[p] = true
 		r := h.blameFor(p)
@@ -120,6 +128,12 @@ func (h *Hook) Crashed(p mid.ProcID) bool {
 		r.crashedAt = now
 		h.record(Event{At: now, Op: "crash", Src: p, Dst: mid.None,
 			Kinds: KindSet(0).With(KindCrash)})
+		first = true
+	}
+	onCrash := h.OnCrash
+	h.mu.Unlock()
+	if first && onCrash != nil {
+		onCrash(p, now)
 	}
 	return true
 }

@@ -45,6 +45,7 @@ import (
 
 	"urcgc/internal/health"
 	"urcgc/internal/obs"
+	"urcgc/internal/probe"
 	"urcgc/internal/rt"
 )
 
@@ -143,30 +144,6 @@ type Report struct {
 	ViewsAgree bool `json:"views_agree"`
 }
 
-// normalizeAddr turns "host:port" into a base URL.
-func normalizeAddr(a string) string {
-	a = strings.TrimSpace(a)
-	if !strings.Contains(a, "://") {
-		a = "http://" + a
-	}
-	return strings.TrimRight(a, "/")
-}
-
-// get fetches one URL, returning the body and status code.
-func get(ctx context.Context, client *http.Client, url string) ([]byte, int, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
-	if err != nil {
-		return nil, 0, err
-	}
-	resp, err := client.Do(req)
-	if err != nil {
-		return nil, 0, err
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
-	return body, resp.StatusCode, err
-}
-
 // metricValue finds a `name{labels} value` sample in Prometheus text.
 func metricValue(body []byte, series string) (int64, bool) {
 	for _, line := range strings.Split(string(body), "\n") {
@@ -186,15 +163,15 @@ func metricValue(body []byte, series string) (int64, bool) {
 	return 0, false
 }
 
-// probe collects one node's picture. Only the /status fetch is fatal to
-// the probe; /metrics, /healthz and /timeseries degrade gracefully so a
-// cluster without a flight recorder still inspects.
-func probe(ctx context.Context, cfg Config, addr string) NodeProbe {
+// probeNode collects one node's picture. Only the /status fetch is fatal
+// to the probe; /metrics, /healthz and /timeseries degrade gracefully so
+// a cluster without a flight recorder still inspects.
+func probeNode(ctx context.Context, cfg Config, addr string) NodeProbe {
 	p := NodeProbe{Addr: addr}
 	ctx, cancel := context.WithTimeout(ctx, cfg.Timeout)
 	defer cancel()
 
-	body, code, err := get(ctx, cfg.Client, addr+"/status?format=json")
+	body, code, err := probe.Fetch(ctx, cfg.Client, addr+"/status?format=json")
 	if err != nil {
 		p.Err = err.Error()
 		return p
@@ -218,7 +195,7 @@ func probe(ctx context.Context, cfg Config, addr string) NodeProbe {
 	}
 
 	node := strconv.Itoa(int(st.ID))
-	if body, code, err := get(ctx, cfg.Client, addr+"/metrics"); err == nil && code == http.StatusOK {
+	if body, code, err := probe.Fetch(ctx, cfg.Client, addr+"/metrics"); err == nil && code == http.StatusOK {
 		if v, ok := metricValue(body, obs.Labeled("core_stable_sum", "node", node)); ok {
 			p.StableSum = v
 		}
@@ -228,7 +205,7 @@ func probe(ctx context.Context, cfg Config, addr string) NodeProbe {
 	}
 
 	// /healthz answers 200 or 503; both carry the JSON verdict.
-	if body, code, err := get(ctx, cfg.Client, addr+"/healthz"); err == nil &&
+	if body, code, err := probe.Fetch(ctx, cfg.Client, addr+"/healthz"); err == nil &&
 		(code == http.StatusOK || code == http.StatusServiceUnavailable) {
 		var h health.Status
 		if json.Unmarshal(body, &h) == nil {
@@ -236,7 +213,7 @@ func probe(ctx context.Context, cfg Config, addr string) NodeProbe {
 		}
 	}
 
-	if body, code, err := get(ctx, cfg.Client, addr+"/timeseries"); err == nil && code == http.StatusOK {
+	if body, code, err := probe.Fetch(ctx, cfg.Client, addr+"/timeseries"); err == nil && code == http.StatusOK {
 		var fs obs.FlightSnapshot
 		if json.Unmarshal(body, &fs) == nil {
 			tail := fs.Series[obs.Labeled("core_decision_subrun", "node", node)]
@@ -538,17 +515,9 @@ func diagnose(probes []NodeProbe, cfg Config) (problems []Problem, viewsAgree bo
 // Collect probes every configured node once and diagnoses the result.
 func Collect(ctx context.Context, cfg Config) Report {
 	cfg = cfg.withDefaults()
-	r := Report{Nodes: make([]NodeProbe, len(cfg.Nodes))}
-	done := make(chan int)
-	for i, a := range cfg.Nodes {
-		go func(i int, addr string) {
-			r.Nodes[i] = probe(ctx, cfg, normalizeAddr(addr))
-			done <- i
-		}(i, a)
-	}
-	for range cfg.Nodes {
-		<-done
-	}
+	r := Report{Nodes: probe.Fanout(cfg.Nodes, func(_ int, addr string) NodeProbe {
+		return probeNode(ctx, cfg, probe.NormalizeAddr(addr))
+	})}
 	r.Problems, r.ViewsAgree = diagnose(r.Nodes, cfg)
 	r.Healthy = healthyProblems(r.Problems)
 	for _, p := range r.Nodes {

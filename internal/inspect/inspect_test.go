@@ -372,20 +372,6 @@ func TestWatchEmitsSummaries(t *testing.T) {
 	}
 }
 
-func TestNormalizeAddr(t *testing.T) {
-	cases := map[string]string{
-		"127.0.0.1:9100":        "http://127.0.0.1:9100",
-		"http://host:1/":        "http://host:1",
-		" https://host:2 ":      "https://host:2",
-		"http://127.0.0.1:9100": "http://127.0.0.1:9100",
-	}
-	for in, want := range cases {
-		if got := normalizeAddr(in); got != want {
-			t.Errorf("normalizeAddr(%q) = %q, want %q", in, got, want)
-		}
-	}
-}
-
 func TestMetricValue(t *testing.T) {
 	body := []byte("# TYPE x counter\nx{node=\"0\"} 7\nx{node=\"10\"} 9\ny 3\n")
 	if v, ok := metricValue(body, `x{node="0"}`); !ok || v != 7 {

@@ -9,6 +9,7 @@
 //	/timeseries  the flight recorder's gauge window as JSON
 //	/events      recent trace events
 //	/trace       message lifecycle spans (when tracing is enabled)
+//	/capture     flight-recorder frame dump (binary; ?decode=1 for JSON)
 //	/debug/*     expvar + pprof (opt-in)
 package nodehttp
 
@@ -23,6 +24,7 @@ import (
 	"strconv"
 	"time"
 
+	"urcgc/internal/capture"
 	"urcgc/internal/health"
 	"urcgc/internal/lifecycle"
 	"urcgc/internal/obs"
@@ -53,6 +55,10 @@ type Options struct {
 	// without the parameter every group's report is wrapped in one
 	// MultiReport. Takes precedence over Lifecycle.
 	LifecycleGroups func() []*lifecycle.Tracer
+	// Capture, if set, backs /capture with the member's frame flight
+	// recorder: the versioned binary dump by default (what urcgc-replay
+	// ingests), or decoded JSON with ?decode=1.
+	Capture *capture.Ring
 	// Pprof mounts /debug/vars and /debug/pprof.
 	Pprof bool
 	// StatusTimeout bounds one /status sample; 0 means 2s.
@@ -147,6 +153,20 @@ func Mux(o Options) *http.ServeMux {
 			enc := json.NewEncoder(w)
 			enc.SetIndent("", "  ")
 			_ = enc.Encode(tr.Report(slowN, recentN))
+		})
+	}
+	if o.Capture != nil {
+		mux.HandleFunc("/capture", func(w http.ResponseWriter, r *http.Request) {
+			dump := o.Capture.Snapshot()
+			if r.URL.Query().Get("decode") == "1" {
+				w.Header().Set("Content-Type", "application/json; charset=utf-8")
+				enc := json.NewEncoder(w)
+				enc.SetIndent("", "  ")
+				_ = enc.Encode(dump.View())
+				return
+			}
+			w.Header().Set("Content-Type", "application/octet-stream")
+			_ = dump.Encode(w)
 		})
 	}
 	if o.Pprof {

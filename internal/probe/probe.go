@@ -1,0 +1,68 @@
+// Package probe is the shared HTTP-collection substrate of every tool
+// that sweeps a cluster's nodehttp endpoints — urcgc-inspect (/status,
+// /metrics, /healthz, /timeseries), urcgc-trace (/trace) and
+// urcgc-replay (/capture). Each of them grew the same three fragments:
+// normalizing "host:port" into a base URL, one bounded GET, and an
+// order-preserving parallel fan-out over the node list. This package
+// holds the one copy; the diagnosis logic stays in the callers.
+package probe
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// MaxBody bounds one response body read (16MB) — larger than any
+// endpoint legitimately answers, small enough that a misconfigured
+// address pointing at a log stream cannot exhaust memory.
+const MaxBody = 16 << 20
+
+// NormalizeAddr turns "host:port" into a base URL without a trailing
+// slash; addresses that already carry a scheme pass through.
+func NormalizeAddr(a string) string {
+	a = strings.TrimSpace(a)
+	if !strings.Contains(a, "://") {
+		a = "http://" + a
+	}
+	return strings.TrimRight(a, "/")
+}
+
+// Fetch performs one GET bounded by ctx, returning the body (limited to
+// MaxBody) and the HTTP status code. A nil client uses the default.
+func Fetch(ctx context.Context, client *http.Client, url string) ([]byte, int, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, MaxBody))
+	return body, resp.StatusCode, err
+}
+
+// Fanout probes every address concurrently and returns the results in
+// input order: out[i] = fn(i, addrs[i]). fn must confine itself to its
+// own slot; partial failure is whatever fn encodes into its result (the
+// callers all carry an Err field), never a panic across slots.
+func Fanout[T any](addrs []string, fn func(i int, addr string) T) []T {
+	out := make([]T, len(addrs))
+	done := make(chan struct{})
+	for i, a := range addrs {
+		go func(i int, addr string) {
+			out[i] = fn(i, addr)
+			done <- struct{}{}
+		}(i, a)
+	}
+	for range addrs {
+		<-done
+	}
+	return out
+}

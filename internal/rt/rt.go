@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"urcgc/internal/capture"
 	"urcgc/internal/causal"
 	"urcgc/internal/core"
 	"urcgc/internal/faultrt"
@@ -74,6 +75,13 @@ type Config struct {
 	// uniformly stable, so its frontier skipped the gap instead of
 	// processing it.
 	FastForwarded func(node mid.ProcID, of mid.ProcID, to mid.Seq)
+	// Captures, when non-nil, holds one flight recorder per member
+	// (indexed by ProcID; nil entries and members past the slice length
+	// are disabled): every frame crossing the mesh transport is recorded —
+	// egress on the sender's ring with its send-side fault verdict,
+	// ingress on the receiver's ring with its receive-side verdict — so a
+	// soak's anomaly can be dumped and replayed offline by urcgc-replay.
+	Captures []*capture.Ring
 }
 
 func (c *Config) fill() {
@@ -275,6 +283,7 @@ type Node struct {
 
 	inbox chan func()
 	ind   chan Indication
+	cap   *capture.Ring // nil disables frame capture
 
 	mu       sync.Mutex
 	waiters  map[mid.MID]chan struct{}
@@ -291,6 +300,9 @@ func newNode(c *Cluster, id mid.ProcID) *Node {
 		inbox:   make(chan func(), c.cfg.InboxDepth),
 		ind:     make(chan Indication, c.cfg.IndicationDepth),
 		waiters: make(map[mid.MID]chan struct{}),
+	}
+	if int(id) < len(c.cfg.Captures) {
+		n.cap = c.cfg.Captures[id]
 	}
 	if c.cfg.Lifecycle != nil {
 		opts := *c.cfg.Lifecycle
@@ -606,6 +618,7 @@ func (t meshTransport) Send(dst mid.ProcID, pdu wire.PDU) {
 		return // a crashed site emits nothing
 	}
 	if act := t.n.c.cfg.Fault.Send(t.n.id, dst); act.Faulty() {
+		t.n.cap.Record(capture.DirEgress, 0, dst, capture.Classify(capture.Sent, act), act.Kinds, buf)
 		if act.Drop {
 			wire.PutBuf(buf)
 			return
@@ -616,6 +629,7 @@ func (t meshTransport) Send(dst mid.ProcID, pdu wire.PDU) {
 		sh.release()
 		return
 	}
+	t.n.cap.Record(capture.DirEgress, 0, dst, capture.Sent, 0, buf)
 	if !t.deliver(t.n.c.nodes[dst], buf, nil) {
 		wire.PutBuf(buf)
 	}
@@ -654,6 +668,7 @@ func (t meshTransport) Broadcast(pdu wire.PDU) {
 		wire.PutBuf(buf)
 		return
 	}
+	t.n.cap.Record(capture.DirEgress, 0, mid.None, capture.Sent, 0, buf)
 	sh := &sharedBuf{buf: buf}
 	sh.refs.Store(1) // the sender's own hold, released after the fan-out
 	for i := 0; i < t.n.c.N(); i++ {
@@ -662,6 +677,9 @@ func (t meshTransport) Broadcast(pdu wire.PDU) {
 			continue
 		}
 		act := t.n.c.cfg.Fault.Send(t.n.id, dst)
+		if act.Faulty() {
+			t.n.cap.Record(capture.DirEgress, 0, dst, capture.Classify(capture.Sent, act), act.Kinds, buf)
+		}
 		if act.Drop {
 			continue
 		}
@@ -676,9 +694,17 @@ func (t meshTransport) Broadcast(pdu wire.PDU) {
 // the datagram was accepted (a full inbox drops it).
 func (t meshTransport) deliver(target *Node, buf []byte, sh *sharedBuf) bool {
 	src := t.n.id
-	return target.enqueue(func() {
+	accepted := target.enqueue(func() {
 		act := target.c.cfg.Fault.Recv(src, target.id)
 		if act.Drop || target.Killed() {
+			if target.cap != nil {
+				kinds := act.Kinds
+				if !act.Drop {
+					// Absorbed by a fail-stopped receiver, not an injector.
+					kinds = kinds.With(faultrt.KindCrash)
+				}
+				target.cap.Record(capture.DirIngress, 0, src, capture.FaultDrop, kinds, buf)
+			}
 			if sh != nil {
 				sh.release()
 			} else {
@@ -696,6 +722,13 @@ func (t meshTransport) deliver(target *Node, buf []byte, sh *sharedBuf) bool {
 				break
 			}
 			extra = append(extra, d)
+		}
+		if target.cap != nil {
+			v := capture.Classify(capture.Delivered, act)
+			if err != nil {
+				v = capture.DropDecode
+			}
+			target.cap.Record(capture.DirIngress, 0, src, v, act.Kinds, buf)
 		}
 		if sh != nil {
 			sh.release()
@@ -724,4 +757,8 @@ func (t meshTransport) deliver(target *Node, buf []byte, sh *sharedBuf) bool {
 			target.proc.Recv(src, d)
 		}
 	})
+	if !accepted {
+		target.cap.Record(capture.DirIngress, 0, src, capture.DropInbox, 0, buf)
+	}
+	return accepted
 }

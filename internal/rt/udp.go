@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"urcgc/internal/capture"
 	"urcgc/internal/causal"
 	"urcgc/internal/core"
 	"urcgc/internal/faultrt"
@@ -60,6 +61,12 @@ type UDPConfig struct {
 	// member's boundary, so a cluster-wide schedule needs the same seeded
 	// schedule on every member. Nil costs one pointer check per datagram.
 	Fault *faultrt.Hook
+	// Capture, when non-nil, records every frame crossing the socket —
+	// ingress with the reader's discard verdict, egress with the fault
+	// verdict — into a bounded flight recorder served on /capture and
+	// replayable offline by urcgc-replay. Nil costs one pointer check per
+	// datagram and zero allocations.
+	Capture *capture.Ring
 	// Joined, when non-nil, fires on the protocol loop goroutine when a
 	// member started with Config.Join set is re-admitted by a decision and
 	// resumes full participation — the urcgc-node restart path logs it.
@@ -123,6 +130,16 @@ func (n *UDPNode) warnf(format string, args ...any) {
 		format += fmt.Sprintf(" [+%d warnings suppressed]", suppressed)
 	}
 	n.cfg.Logf("rt[%d]: "+format, append([]any{int(n.cfg.Self)}, args...)...)
+}
+
+// capNote renders the warn-line suffix joining a discard to its captured
+// frame, so udp_drop_* warnings are greppable against the /capture dump.
+// Empty when capture is disabled.
+func (n *UDPNode) capNote(seq uint64) string {
+	if n.cfg.Capture == nil {
+		return ""
+	}
+	return fmt.Sprintf(" [capture #%d]", seq)
 }
 
 // sockObs accounts socket-level traffic and the reader's silent discards.
@@ -528,7 +545,8 @@ func (n *UDPNode) handleDatagram(pkt []byte, from *net.UDPAddr) {
 		if n.sock != nil {
 			n.sock.dropOversize.Inc()
 		}
-		n.warnf("oversize datagram from %v truncated past %d bytes: dropped", from, maxDatagram)
+		seq := n.cfg.Capture.Record(capture.DirIngress, 0, mid.None, capture.DropOversize, 0, nil)
+		n.warnf("oversize datagram from %v truncated past %d bytes: dropped%s", from, maxDatagram, n.capNote(seq))
 		return
 	}
 	group, src, body, err := wire.ParseEnvelope(pkt)
@@ -536,25 +554,29 @@ func (n *UDPNode) handleDatagram(pkt []byte, from *net.UDPAddr) {
 		if n.sock != nil {
 			n.sock.dropShort.Inc()
 		}
-		n.warnf("unparseable datagram (%d bytes) from %v: dropped", sz, from)
+		seq := n.cfg.Capture.Record(capture.DirIngress, 0, mid.None, capture.DropShort, 0, pkt)
+		n.warnf("unparseable datagram (%d bytes) from %v: dropped%s", sz, from, n.capNote(seq))
 		return
 	}
 	if group != 0 {
 		if n.sock != nil {
 			n.sock.dropBadSrc.Inc()
 		}
-		n.warnf("datagram from %v for group %d on single-group node: dropped", from, group)
+		seq := n.cfg.Capture.Record(capture.DirIngress, group, src, capture.DropGroup, 0, body)
+		n.warnf("datagram from %v for group %d on single-group node: dropped%s", from, group, n.capNote(seq))
 		return
 	}
 	if src < 0 || int(src) >= n.cfg.N {
 		if n.sock != nil {
 			n.sock.dropBadSrc.Inc()
 		}
-		n.warnf("datagram from %v claims member %d outside group of %d: dropped", from, src, n.cfg.N)
+		seq := n.cfg.Capture.Record(capture.DirIngress, 0, src, capture.DropBadSrc, 0, body)
+		n.warnf("datagram from %v claims member %d outside group of %d: dropped%s", from, src, n.cfg.N, n.capNote(seq))
 		return
 	}
 	act := n.cfg.Fault.Recv(src, n.cfg.Self)
 	if act.Drop {
+		n.cfg.Capture.Record(capture.DirIngress, 0, src, capture.FaultDrop, act.Kinds, body)
 		return // injected receive omission (or crashed self)
 	}
 	// Decode in place: Unmarshal never aliases its input, so the read
@@ -565,13 +587,22 @@ func (n *UDPNode) handleDatagram(pkt []byte, from *net.UDPAddr) {
 		if n.sock != nil {
 			n.sock.dropDecode.Inc()
 		}
-		n.warnf("undecodable datagram from %v (%d bytes): %v", from, sz, err)
+		seq := n.cfg.Capture.Record(capture.DirIngress, 0, src, capture.DropDecode, 0, body)
+		n.warnf("undecodable datagram from %v (%d bytes): %v%s", from, sz, err, n.capNote(seq))
 		return // malformed datagram: dropped
 	}
 	if !act.Faulty() {
-		n.enqueueDatagram(func() { n.proc.Recv(src, pdu) })
+		accepted := n.enqueueDatagram(func() { n.proc.Recv(src, pdu) })
+		if n.cfg.Capture != nil {
+			v := capture.Delivered
+			if !accepted {
+				v = capture.DropInbox
+			}
+			n.cfg.Capture.Record(capture.DirIngress, 0, src, v, 0, body)
+		}
 		return
 	}
+	n.cfg.Capture.Record(capture.DirIngress, 0, src, capture.Classify(capture.Delivered, act), act.Kinds, body)
 	// Receive-side duplicates each decode their own self-owned PDU
 	// before the read buffer is reused for the next datagram.
 	var extra []wire.PDU
@@ -598,12 +629,15 @@ func (n *UDPNode) handleDatagram(pkt []byte, from *net.UDPAddr) {
 }
 
 // enqueueDatagram hands a received datagram's closure to the protocol
-// loop; a full inbox drops it, like any datagram.
-func (n *UDPNode) enqueueDatagram(fn func()) {
+// loop; a full inbox drops it, like any datagram. Reports whether the
+// closure was accepted.
+func (n *UDPNode) enqueueDatagram(fn func()) bool {
 	select {
 	case n.inbox <- fn:
+		return true
 	default:
 		n.obs.InboxDropped(n.cfg.Self)
+		return false
 	}
 }
 
@@ -633,12 +667,6 @@ func (t udpTransport) write(dst mid.ProcID, frame []byte) {
 		t.n.sock.sendDatagrams.Inc()
 		t.n.sock.sendBytes.Add(int64(len(frame)))
 	}
-}
-
-// ship applies the fault verdict for one destination, then writes the
-// frame 1+Dup times, possibly later.
-func (t udpTransport) ship(dst mid.ProcID, frame []byte) {
-	t.shipAct(dst, frame, t.n.cfg.Fault.Send(t.n.cfg.Self, dst))
 }
 
 // shipAct ships under an already-computed fault verdict, so the injector
@@ -675,8 +703,20 @@ func (t udpTransport) checkSize(frame []byte, pdu wire.PDU) bool {
 	if t.n.sock != nil {
 		t.n.sock.sendOversize.Inc()
 	}
-	t.n.warnf("oversize %v frame (%d bytes > %d): dropped before send", pdu.Kind(), len(frame), maxDatagram)
+	seq := t.n.cfg.Capture.Record(capture.DirEgress, 0, mid.None, capture.DropOversize, 0, nil)
+	t.n.warnf("oversize %v frame (%d bytes > %d): dropped before send%s", pdu.Kind(), len(frame), maxDatagram, t.n.capNote(seq))
 	return false
+}
+
+// recordEgress captures one outgoing frame under its fault verdict. The
+// stored bytes are the PDU body behind the group-0 envelope — the record's
+// Peer and Group fields carry what the envelope would.
+func (n *UDPNode) recordEgress(dst mid.ProcID, act faultrt.Action, frame []byte) {
+	if n.cfg.Capture == nil {
+		return
+	}
+	n.cfg.Capture.Record(capture.DirEgress, 0, dst,
+		capture.Classify(capture.Sent, act), act.Kinds, frame[wire.EnvelopeSize(0):])
 }
 
 func (t udpTransport) Send(dst mid.ProcID, pdu wire.PDU) {
@@ -688,7 +728,9 @@ func (t udpTransport) Send(dst mid.ProcID, pdu wire.PDU) {
 		wire.PutBuf(frame)
 		return
 	}
-	t.ship(dst, frame)
+	act := t.n.cfg.Fault.Send(t.n.cfg.Self, dst)
+	t.n.recordEgress(dst, act, frame)
+	t.shipAct(dst, frame, act)
 	wire.PutBuf(frame)
 }
 
@@ -703,6 +745,10 @@ func (t udpTransport) Broadcast(pdu wire.PDU) {
 		wire.PutBuf(frame)
 		return
 	}
+	if t.n.cfg.Capture != nil {
+		t.n.cfg.Capture.Record(capture.DirEgress, 0, mid.None, capture.Sent, 0,
+			frame[wire.EnvelopeSize(0):])
+	}
 	burst := t.n.burstScratch[:0]
 	for i := 0; i < t.n.cfg.N; i++ {
 		dst := mid.ProcID(i)
@@ -711,6 +757,7 @@ func (t udpTransport) Broadcast(pdu wire.PDU) {
 		}
 		act := t.n.cfg.Fault.Send(t.n.cfg.Self, dst)
 		if act.Faulty() {
+			t.n.recordEgress(dst, act, frame)
 			t.shipAct(dst, frame, act)
 			continue
 		}

@@ -18,6 +18,7 @@
 package stitch
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -27,6 +28,7 @@ import (
 	"time"
 
 	"urcgc/internal/lifecycle"
+	"urcgc/internal/probe"
 )
 
 // Config configures one collection sweep.
@@ -68,40 +70,29 @@ type NodeTrace struct {
 	Reports []lifecycle.Report `json:"reports,omitempty"`
 }
 
-// Collect fetches /trace from every node. Unreachable nodes are reported,
-// not fatal: a stitched view of the reachable majority is still useful.
+// Collect fetches /trace from every node in parallel. Unreachable nodes
+// are reported, not fatal: a stitched view of the reachable majority is
+// still useful.
 func Collect(cfg Config) []NodeTrace {
 	cfg = cfg.fill()
-	out := make([]NodeTrace, len(cfg.Nodes))
-	for i, addr := range cfg.Nodes {
-		out[i] = collectOne(cfg, addr)
-	}
-	return out
+	return probe.Fanout(cfg.Nodes, func(_ int, addr string) NodeTrace {
+		return collectOne(cfg, addr)
+	})
 }
 
 func collectOne(cfg Config, addr string) NodeTrace {
 	nt := NodeTrace{Addr: addr}
-	base := addr
-	if !strings.Contains(base, "://") {
-		base = "http://" + base
-	}
-	url := fmt.Sprintf("%s/trace?slow=%d&recent=%d", base, cfg.Slow, cfg.Recent)
+	url := fmt.Sprintf("%s/trace?slow=%d&recent=%d", probe.NormalizeAddr(addr), cfg.Slow, cfg.Recent)
 	if cfg.Group >= 0 {
 		url += fmt.Sprintf("&group=%d", cfg.Group)
 	}
-	res, err := cfg.Client.Get(url)
+	raw, code, err := probe.Fetch(context.Background(), cfg.Client, url)
 	if err != nil {
 		nt.Err = err.Error()
 		return nt
 	}
-	defer res.Body.Close()
-	raw, err := io.ReadAll(io.LimitReader(res.Body, 16<<20))
-	if err != nil {
-		nt.Err = err.Error()
-		return nt
-	}
-	if res.StatusCode != http.StatusOK {
-		nt.Err = fmt.Sprintf("HTTP %d: %s", res.StatusCode, strings.TrimSpace(string(raw)))
+	if code != http.StatusOK {
+		nt.Err = fmt.Sprintf("HTTP %d: %s", code, strings.TrimSpace(string(raw)))
 		return nt
 	}
 	// A multi-group member answers with {"groups":[...]}; a single-group

@@ -30,8 +30,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"urcgc/internal/capture"
 	"urcgc/internal/causal"
 	"urcgc/internal/core"
+	"urcgc/internal/faultrt"
 	"urcgc/internal/lifecycle"
 	"urcgc/internal/mid"
 	"urcgc/internal/obs"
@@ -87,6 +89,12 @@ type Config struct {
 	// seam for partitioning individual groups (the chaos harness's
 	// group-partition soak); nil in production.
 	DropFrame func(group uint32, src, dst mid.ProcID) bool
+	// Capture, when non-nil, records every frame crossing this member's
+	// shared socket — ingress with the demux verdict, egress with the
+	// send verdict, every group on the one ring (records carry the group
+	// id) — for /capture dumps and offline replay. Nil costs one pointer
+	// check per frame and zero allocations.
+	Capture *capture.Ring
 	// Logf receives throttled operator-visible warnings; nil means
 	// log.Printf.
 	Logf func(format string, args ...any)
@@ -500,6 +508,15 @@ func (m *MultiNode) warnf(format string, args ...any) {
 	m.cfg.Logf("topics[%d]: "+format, append([]any{int(m.cfg.Self)}, args...)...)
 }
 
+// capNote renders the warn-line suffix joining a discard to its captured
+// frame; empty when capture is disabled.
+func (m *MultiNode) capNote(seq uint64) string {
+	if m.cfg.Capture == nil {
+		return ""
+	}
+	return fmt.Sprintf(" [capture #%d]", seq)
+}
+
 // shard is one loop goroutine owning the protocol entities of every group
 // hashed onto it. Everything a session's core.Process does happens on its
 // shard's goroutine, preserving the single-owner concurrency contract.
@@ -756,7 +773,8 @@ func (m *MultiNode) demux(pkt []byte) {
 		if m.mobs != nil {
 			m.mobs.dropOversize.Inc()
 		}
-		m.warnf("oversize datagram truncated past %d bytes: dropped", maxDatagram)
+		seq := m.cfg.Capture.Record(capture.DirIngress, 0, mid.None, capture.DropOversize, 0, nil)
+		m.warnf("oversize datagram truncated past %d bytes: dropped%s", maxDatagram, m.capNote(seq))
 		return
 	}
 	group, src, body, err := wire.ParseEnvelope(pkt)
@@ -764,21 +782,24 @@ func (m *MultiNode) demux(pkt []byte) {
 		if m.mobs != nil {
 			m.mobs.dropEnvelope.Inc()
 		}
-		m.warnf("unparseable datagram (%d bytes): dropped", len(pkt))
+		seq := m.cfg.Capture.Record(capture.DirIngress, 0, mid.None, capture.DropShort, 0, pkt)
+		m.warnf("unparseable datagram (%d bytes): dropped%s", len(pkt), m.capNote(seq))
 		return
 	}
 	if int64(group) >= int64(len(m.sessions)) {
 		if m.mobs != nil {
 			m.mobs.dropGroup.Inc()
 		}
-		m.warnf("datagram for unhosted group %d (hosting %d): dropped", group, len(m.sessions))
+		seq := m.cfg.Capture.Record(capture.DirIngress, group, src, capture.DropGroup, 0, body)
+		m.warnf("datagram for unhosted group %d (hosting %d): dropped%s", group, len(m.sessions), m.capNote(seq))
 		return
 	}
 	if src < 0 || int(src) >= m.cfg.N {
 		if m.mobs != nil {
 			m.mobs.dropBadSrc.Inc()
 		}
-		m.warnf("datagram claims member %d outside group of %d: dropped", src, m.cfg.N)
+		seq := m.cfg.Capture.Record(capture.DirIngress, group, src, capture.DropBadSrc, 0, body)
+		m.warnf("datagram claims member %d outside group of %d: dropped%s", src, m.cfg.N, m.capNote(seq))
 		return
 	}
 	pdu, err := wire.Unmarshal(body)
@@ -786,12 +807,16 @@ func (m *MultiNode) demux(pkt []byte) {
 		if m.mobs != nil {
 			m.mobs.dropDecode.Inc()
 		}
-		m.warnf("undecodable datagram for group %d: %v", group, err)
+		seq := m.cfg.Capture.Record(capture.DirIngress, group, src, capture.DropDecode, 0, body)
+		m.warnf("undecodable datagram for group %d: %v%s", group, err, m.capNote(seq))
 		return
 	}
 	s := m.sessions[group]
-	if !s.shard.enqueue(s, func() { s.proc.Recv(src, pdu) }) {
-		m.warnf("group %d: shard inbox full, datagram from member %d dropped (overload omission)", group, src)
+	if s.shard.enqueue(s, func() { s.proc.Recv(src, pdu) }) {
+		m.cfg.Capture.Record(capture.DirIngress, group, src, capture.Delivered, 0, body)
+	} else {
+		seq := m.cfg.Capture.Record(capture.DirIngress, group, src, capture.DropInbox, 0, body)
+		m.warnf("group %d: shard inbox full, datagram from member %d dropped (overload omission)%s", group, src, m.capNote(seq))
 	}
 }
 
@@ -871,15 +896,30 @@ func (t groupTransport) Send(dst mid.ProcID, pdu wire.PDU) {
 	if dst == m.cfg.Self || dst < 0 || int(dst) >= m.cfg.N {
 		return
 	}
-	if m.cfg.DropFrame != nil && m.cfg.DropFrame(t.s.group, m.cfg.Self, dst) {
-		return
-	}
 	frame, err := t.frame(pdu)
 	if err != nil || !m.checkSize(frame, pdu) {
+		if err == nil {
+			m.cfg.Capture.Record(capture.DirEgress, t.s.group, dst, capture.DropOversize, 0, nil)
+		}
 		wire.PutBuf(frame)
 		return
 	}
+	// DropFrame partitions individual groups in tests; the capture record
+	// charges the loss as an injected partition so replay can attribute it.
+	if m.cfg.DropFrame != nil && m.cfg.DropFrame(t.s.group, m.cfg.Self, dst) {
+		m.cfg.Capture.Record(capture.DirEgress, t.s.group, dst, capture.FaultDrop,
+			faultrt.KindSet(0).With(faultrt.KindPartition), t.body(frame))
+		wire.PutBuf(frame)
+		return
+	}
+	m.cfg.Capture.Record(capture.DirEgress, t.s.group, dst, capture.Sent, 0, t.body(frame))
 	m.tx.push(txPacket{dst: dst, frame: frame})
+}
+
+// body strips the group envelope off a framed datagram: capture records
+// store the PDU body only, with the envelope's group and peer as fields.
+func (t groupTransport) body(frame []byte) []byte {
+	return frame[wire.EnvelopeSize(t.s.group):]
 }
 
 // Broadcast marshals the PDU exactly once; every destination's packet
@@ -888,9 +928,13 @@ func (t groupTransport) Broadcast(pdu wire.PDU) {
 	m := t.s.m
 	frame, err := t.frame(pdu)
 	if err != nil || !m.checkSize(frame, pdu) {
+		if err == nil {
+			m.cfg.Capture.Record(capture.DirEgress, t.s.group, mid.None, capture.DropOversize, 0, nil)
+		}
 		wire.PutBuf(frame)
 		return
 	}
+	m.cfg.Capture.Record(capture.DirEgress, t.s.group, mid.None, capture.Sent, 0, t.body(frame))
 	sh := &sharedFrame{buf: frame}
 	sh.refs.Store(1) // the sender's own hold, released after the fan-out
 	for i := 0; i < m.cfg.N; i++ {
@@ -899,6 +943,8 @@ func (t groupTransport) Broadcast(pdu wire.PDU) {
 			continue
 		}
 		if m.cfg.DropFrame != nil && m.cfg.DropFrame(t.s.group, m.cfg.Self, dst) {
+			m.cfg.Capture.Record(capture.DirEgress, t.s.group, dst, capture.FaultDrop,
+				faultrt.KindSet(0).With(faultrt.KindPartition), t.body(frame))
 			continue
 		}
 		sh.refs.Add(1)

@@ -26,15 +26,30 @@ OBS2=127.0.0.1:18853
 # -chatter keeps each member generating traffic (the protocol's silence
 # detection and the joiner's re-admission both need live subruns);
 # -sample 100ms gives the flight recorder a fast window.
-"$BIN/urcgc-node" -self 0 -peers "$PEERS" -metrics "$OBS0" -round 5ms -sample 100ms -chatter 50ms </dev/null >"$BIN/node0.log" 2>&1 & P0=$!
-"$BIN/urcgc-node" -self 1 -peers "$PEERS" -metrics "$OBS1" -round 5ms -sample 100ms -chatter 50ms </dev/null >"$BIN/node1.log" 2>&1 & P1=$!
-"$BIN/urcgc-node" -self 2 -peers "$PEERS" -metrics "$OBS2" -round 5ms -sample 100ms -chatter 50ms </dev/null >"$BIN/node2.log" 2>&1 & P2=$!
+"$BIN/urcgc-node" -self 0 -peers "$PEERS" -metrics "$OBS0" -round 5ms -sample 100ms -chatter 50ms -capture 16384 </dev/null >"$BIN/node0.log" 2>&1 & P0=$!
+"$BIN/urcgc-node" -self 1 -peers "$PEERS" -metrics "$OBS1" -round 5ms -sample 100ms -chatter 50ms -capture 16384 </dev/null >"$BIN/node1.log" 2>&1 & P1=$!
+"$BIN/urcgc-node" -self 2 -peers "$PEERS" -metrics "$OBS2" -round 5ms -sample 100ms -chatter 50ms -capture 16384 </dev/null >"$BIN/node2.log" 2>&1 & P2=$!
 
 dump_logs() {
     echo "--- node 0 ---" >&2; cat "$BIN/node0.log" >&2
     echo "--- node 1 ---" >&2; cat "$BIN/node1.log" >&2
     echo "--- node 2 ---" >&2; cat "$BIN/node2.log" >&2
     [ -f "$BIN/node2-rejoin.log" ] && { echo "--- node 2 (rejoin) ---" >&2; cat "$BIN/node2-rejoin.log" >&2; }
+    preserve_captures
+}
+
+# preserve_captures saves the live members' frame flight recorders to
+# URCGC_CAPTURE_DIR (CI exports it and uploads the dumps as artifacts),
+# so a failed gate can be replayed offline with urcgc-replay.
+preserve_captures() {
+    [ -n "${URCGC_CAPTURE_DIR:-}" ] || return 0
+    mkdir -p "$URCGC_CAPTURE_DIR"
+    for i in 0 1 2; do
+        eval "obs=\$OBS$i"
+        if curl -fsS "http://$obs/capture" -o "$URCGC_CAPTURE_DIR/capture-node$i.bin" 2>/dev/null; then
+            echo "join-smoke: saved $URCGC_CAPTURE_DIR/capture-node$i.bin (replay with urcgc-replay)" >&2
+        fi
+    done
 }
 
 # wait_until <tries> <sleep> <message> <cmd...>: retry a probe until it
@@ -68,7 +83,7 @@ wait_until 60 0.5 "survivors never excluded the killed member" excluded
 
 # Phase 3: restart member 2 with -join. It must state-transfer, be
 # re-admitted into every member's view, and log the completed join.
-"$BIN/urcgc-node" -self 2 -peers "$PEERS" -metrics "$OBS2" -round 5ms -sample 100ms -chatter 50ms -join </dev/null >"$BIN/node2-rejoin.log" 2>&1 & P2=$!
+"$BIN/urcgc-node" -self 2 -peers "$PEERS" -metrics "$OBS2" -round 5ms -sample 100ms -chatter 50ms -capture 16384 -join </dev/null >"$BIN/node2-rejoin.log" 2>&1 & P2=$!
 echo "join-smoke: restarted member 2 with -join"
 rejoined_log() { grep -q 'rejoined the group' "$BIN/node2-rejoin.log"; }
 wait_until 60 0.5 "restarted member never completed its join" rejoined_log
